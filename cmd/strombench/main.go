@@ -1,0 +1,100 @@
+// Command strombench regenerates the tables and figures of the StRoM
+// paper's evaluation on the simulated testbed.
+//
+// Usage:
+//
+//	strombench -list
+//	strombench [-quick|-full] [-seed N] [-csv DIR] [exp ...]
+//
+// With no experiment names, everything runs in paper order followed by
+// the ablations. Experiment names are table1, table2, table3, resources,
+// fig5a...fig13b, and abl-*.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"strom/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced iteration counts (smoke test)")
+	full := flag.Bool("full", false, "paper-scale inputs (Fig. 11 runs the real 128-1024 MB)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	csvDir := flag.String("csv", "", "also write each figure as CSV into this directory")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("table1 table2 table3 resources")
+		for _, g := range append(experiments.Figures(), experiments.Ablations()...) {
+			fmt.Println(g.Name)
+		}
+		return
+	}
+
+	opts := experiments.Default()
+	if *quick {
+		opts = experiments.Quick()
+	}
+	if *full {
+		opts.ShuffleScale = 1
+	}
+	opts.Seed = *seed
+
+	names := flag.Args()
+	if len(names) == 0 {
+		for _, g := range append(experiments.Figures(), experiments.Ablations()...) {
+			names = append(names, g.Name)
+		}
+		fmt.Println(experiments.Table1())
+		fmt.Println(experiments.Table2())
+		fmt.Println(experiments.ResourceReport())
+	}
+	for _, name := range names {
+		if err := runOne(name, opts, *csvDir); err != nil {
+			fmt.Fprintln(os.Stderr, "strombench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func runOne(name string, opts experiments.Options, csvDir string) error {
+	switch name {
+	case "table1":
+		fmt.Println(experiments.Table1())
+		return nil
+	case "table2":
+		fmt.Println(experiments.Table2())
+		return nil
+	case "table3":
+		fmt.Println(experiments.Table3())
+		return nil
+	case "resources":
+		fmt.Println(experiments.ResourceReport())
+		return nil
+	}
+	for _, g := range append(experiments.Figures(), experiments.Ablations()...) {
+		if g.Name == name {
+			start := time.Now()
+			fig, err := g.Run(opts)
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			fmt.Println(fig.String())
+			fmt.Printf("(%s generated in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+			if csvDir != "" {
+				path := filepath.Join(csvDir, name+".csv")
+				if err := os.WriteFile(path, []byte(fig.CSV()), 0o644); err != nil {
+					return fmt.Errorf("%s: writing CSV: %w", name, err)
+				}
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown experiment %q (try -list)", name)
+}

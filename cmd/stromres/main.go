@@ -1,0 +1,14 @@
+// Command stromres prints the FPGA resource report: the paper's Table 3,
+// the §6.1 queue-pair scaling on the Virtex-7, the per-module breakdown,
+// and the footprints of the bundled StRoM kernels.
+package main
+
+import (
+	"fmt"
+
+	"strom/internal/experiments"
+)
+
+func main() {
+	fmt.Println(experiments.ResourceReport())
+}

@@ -1,0 +1,95 @@
+package strom_test
+
+// System-level determinism: the whole stack — packets, retransmissions,
+// kernels, polling — must replay bit-for-bit under the same seed, and
+// diverge under a different seed only in timing jitter, never in data.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"strom"
+)
+
+// runScenario drives a mixed workload (writes, reads, traversal RPCs)
+// and returns the controller dumps of both machines plus the final
+// simulated time.
+func runScenario(t *testing.T, seed int64) (string, string, strom.Time) {
+	t.Helper()
+	cl := strom.NewCluster(seed)
+	a, _ := cl.AddMachine("a", strom.Profile10G())
+	b, _ := cl.AddMachine("b", strom.Profile10G())
+	qp, err := cl.ConnectDirect(a, b, strom.Cable10G())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.DeployKernel(1, strom.NewTraversalKernel(0)); err != nil {
+		t.Fatal(err)
+	}
+	bufA, _ := a.AllocBuffer(4 << 20)
+	bufB, _ := b.AllocBuffer(4 << 20)
+	region := strom.NewKVRegion(b, bufB)
+	keys := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	values := make([][]byte, len(keys))
+	rng := rand.New(rand.NewSource(99))
+	for i := range values {
+		values[i] = make([]byte, 128)
+		rng.Read(values[i])
+	}
+	list, err := strom.BuildKVList(region, keys, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Go("driver", func(p *strom.Process) {
+		for i := 0; i < 20; i++ {
+			data := make([]byte, 256)
+			binary.LittleEndian.PutUint64(data, uint64(i))
+			if err := a.Memory().WriteVirt(bufA.Base(), data); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := qp.WriteSync(p, uint64(bufA.Base()), uint64(bufB.Base())+2<<20, len(data)); err != nil {
+				t.Errorf("write %d: %v", i, err)
+				return
+			}
+			if err := qp.ReadSync(p, uint64(bufB.Base())+2<<20, uint64(bufA.Base())+8192, len(data)); err != nil {
+				t.Errorf("read %d: %v", i, err)
+				return
+			}
+			if _, err := strom.TraversalLookup(p, qp, 1, list.TraversalParams(keys[i%len(keys)], bufA.Base()+16384)); err != nil {
+				t.Errorf("lookup %d: %v", i, err)
+				return
+			}
+		}
+	})
+	end := cl.Run()
+	return a.NIC().Controller().Dump(), b.NIC().Controller().Dump(), end
+}
+
+func TestSystemDeterminism(t *testing.T) {
+	a1, b1, end1 := runScenario(t, 42)
+	a2, b2, end2 := runScenario(t, 42)
+	if a1 != a2 || b1 != b2 {
+		t.Errorf("controller dumps diverge under the same seed:\n%s\nvs\n%s", a1, a2)
+	}
+	if end1 != end2 {
+		t.Errorf("final times diverge: %v vs %v", end1, end2)
+	}
+}
+
+func TestSeedChangesTimingNotData(t *testing.T) {
+	// A different seed shifts poll-phase jitter (time), but all data
+	// motion and packet counts are workload-determined.
+	a1, _, end1 := runScenario(t, 1)
+	a2, _, end2 := runScenario(t, 2)
+	if end1 == end2 {
+		t.Log("final times happen to coincide; jitter is sub-resolution here")
+	}
+	// Packet counters must match exactly: same packets, same retries (no
+	// loss configured).
+	if !bytes.Equal([]byte(a1), []byte(a2)) {
+		t.Errorf("counters diverge across seeds without loss:\n%s\nvs\n%s", a1, a2)
+	}
+}

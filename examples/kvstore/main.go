@@ -1,0 +1,139 @@
+// Distributed key-value store GET (the paper's motivating example): a
+// client fetches values from a Pilaf-style hash table in a server's
+// memory three ways and compares their cost —
+//
+//  1. two one-sided RDMA READs (entry, then value), like Pilaf/FaRM;
+//  2. the StRoM traversal kernel: one network round trip, remote CPU
+//     never involved;
+//  3. a GET kernel RPC (Listings 2-4), also a single round trip.
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"strom"
+)
+
+const (
+	traversalOp = 0x01
+	getOp       = 0x02
+	valueSize   = 512
+	numKeys     = 100
+)
+
+func main() {
+	cl := strom.NewCluster(42)
+	client, _ := cl.AddMachine("client", strom.Profile10G())
+	server, _ := cl.AddMachine("server", strom.Profile10G())
+	qp, err := cl.ConnectDirect(client, server, strom.Cable10G())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := server.DeployKernel(traversalOp, strom.NewTraversalKernel(0)); err != nil {
+		log.Fatal(err)
+	}
+	getKernel := strom.NewGetKernel()
+	if err := server.DeployKernel(getOp, getKernel); err != nil {
+		log.Fatal(err)
+	}
+
+	bufC, _ := client.AllocBuffer(4 << 20)
+	bufS, _ := server.AllocBuffer(16 << 20)
+
+	// Build the store server-side.
+	region := strom.NewKVRegion(server, bufS)
+	ht, err := strom.BuildKVHashTable(region, 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	keys := make([]uint64, 0, numKeys)
+	truth := make(map[uint64][]byte)
+	for len(keys) < numKeys {
+		k := rng.Uint64()
+		v := make([]byte, valueSize)
+		rng.Read(v)
+		if err := ht.Put(k, v); err != nil {
+			continue // 3-bucket collision: skip the key
+		}
+		keys = append(keys, k)
+		truth[k] = v
+	}
+	fmt.Printf("server hash table: %d keys, %d B values\n", ht.Len(), valueSize)
+
+	cl.Go("client", func(p *strom.Process) {
+		var tRead, tTrav, tGet strom.Duration
+		for _, key := range keys {
+			// Approach 1: two READs.
+			start := p.Now()
+			scratch := bufC.Base() + 1<<20
+			if err := qp.ReadSync(p, uint64(ht.EntryAddr(key)), uint64(scratch), 64); err != nil {
+				log.Fatal(err)
+			}
+			entry, _ := client.Memory().ReadVirt(scratch, 64)
+			valueVA, ok := lookupEntry(entry, key)
+			if !ok {
+				log.Fatalf("key %d missing from its entry", key)
+			}
+			if err := qp.ReadSync(p, valueVA, uint64(scratch), valueSize); err != nil {
+				log.Fatal(err)
+			}
+			got, _ := client.Memory().ReadVirt(scratch, valueSize)
+			tRead += p.Now().Sub(start)
+			mustEqual(got, truth[key], "RDMA READ")
+
+			// Approach 2: traversal kernel, single round trip.
+			start = p.Now()
+			got, err := strom.TraversalLookup(p, qp, traversalOp, ht.TraversalParams(key, valueSize, bufC.Base()))
+			if err != nil {
+				log.Fatal(err)
+			}
+			tTrav += p.Now().Sub(start)
+			mustEqual(got, truth[key], "traversal kernel")
+
+			// Approach 3: GET kernel (Listings 2-4).
+			start = p.Now()
+			params := strom.GetParams{Address: uint64(ht.EntryAddr(key)), Key: key, TargetAddr: uint64(bufC.Base())}
+			statusVA := bufC.Base() + valueSize
+			if err := client.Memory().WriteVirt(statusVA, make([]byte, 8)); err != nil {
+				log.Fatal(err)
+			}
+			if err := qp.RPCSync(p, getOp, params.Encode()); err != nil {
+				log.Fatal(err)
+			}
+			if err := client.Memory().PollNonZero(p, statusVA); err != nil {
+				log.Fatal(err)
+			}
+			got, _ = client.Memory().ReadVirt(bufC.Base(), valueSize)
+			tGet += p.Now().Sub(start)
+			mustEqual(got, truth[key], "GET kernel")
+		}
+		n := strom.Duration(len(keys))
+		fmt.Printf("mean GET latency over %d lookups:\n", len(keys))
+		fmt.Printf("  two RDMA READs     : %v\n", tRead/n)
+		fmt.Printf("  traversal kernel   : %v   (one round trip saved)\n", tTrav/n)
+		fmt.Printf("  GET kernel (RPC)   : %v\n", tGet/n)
+	})
+	cl.Run()
+	fmt.Printf("GET kernel served %d lookups, %d misses\n", getKernel.Gets(), getKernel.Misses())
+}
+
+func lookupEntry(entry []byte, key uint64) (uint64, bool) {
+	for b := 0; b < 3; b++ {
+		off := b * 20
+		if binary.LittleEndian.Uint64(entry[off:]) == key {
+			return binary.LittleEndian.Uint64(entry[off+8:]), true
+		}
+	}
+	return 0, false
+}
+
+func mustEqual(got, want []byte, label string) {
+	if !bytes.Equal(got, want) {
+		log.Fatalf("%s returned a wrong value", label)
+	}
+}

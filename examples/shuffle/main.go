@@ -1,0 +1,118 @@
+// Distributed data shuffling (§6.4): a database-style repartitioning in
+// which a sender streams 8 B tuples to a receiver whose StRoM NIC
+// partitions them on-the-fly by radix hash into per-partition regions of
+// host memory — no receiver CPU cycles, no extra data pass. The example
+// verifies every tuple landed in its radix partition and compares the
+// execution time with a plain RDMA WRITE of the same data.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"strom"
+)
+
+const (
+	shuffleOp  = 0x04
+	nParts     = 64
+	tupleCount = 1 << 18 // 256k tuples = 2 MB
+)
+
+func main() {
+	cl := strom.NewCluster(3)
+	sender, _ := cl.AddMachine("sender", strom.Profile10G())
+	receiver, _ := cl.AddMachine("receiver", strom.Profile10G())
+	qp, err := cl.ConnectDirect(sender, receiver, strom.Cable10G())
+	if err != nil {
+		log.Fatal(err)
+	}
+	kern := strom.NewShuffleKernel()
+	if err := receiver.DeployKernel(shuffleOp, kern); err != nil {
+		log.Fatal(err)
+	}
+
+	bufS, _ := sender.AllocBuffer(8 << 20)
+	bufR, _ := receiver.AllocBuffer(32 << 20)
+
+	// Generate tuples and remember the expected partitioning.
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, tupleCount*8)
+	counts := make([]int, nParts)
+	for i := 0; i < tupleCount; i++ {
+		v := rng.Uint64()
+		binary.LittleEndian.PutUint64(data[i*8:], v)
+		counts[strom.ShufflePartition(v, nParts)]++
+	}
+	if err := sender.Memory().WriteVirt(bufS.Base(), data); err != nil {
+		log.Fatal(err)
+	}
+
+	// Receiver-side layout: descriptor table, partition regions, and the
+	// completion word the kernel posts when everything is flushed.
+	partBytes := (tupleCount/nParts)*8*2 + 4096
+	table := make([]byte, nParts*8)
+	partBase := bufR.Base() + 4096
+	for i := 0; i < nParts; i++ {
+		binary.LittleEndian.PutUint64(table[i*8:], uint64(partBase)+uint64(i*partBytes))
+	}
+	if err := receiver.Memory().WriteVirt(bufR.Base(), table); err != nil {
+		log.Fatal(err)
+	}
+	completion := partBase + strom.Addr(nParts*partBytes+64)
+
+	cl.Go("sender", func(p *strom.Process) {
+		// StRoM shuffle: parametrise the kernel, stream the tuples.
+		params := strom.ShuffleParams{
+			TableAddress:      uint64(bufR.Base()),
+			NumPartitions:     nParts,
+			CompletionAddress: uint64(completion),
+		}
+		start := p.Now()
+		if err := qp.RPCSync(p, shuffleOp, params.Encode()); err != nil {
+			log.Fatal(err)
+		}
+		if err := qp.RPCWriteSync(p, shuffleOp, uint64(bufS.Base()), len(data)); err != nil {
+			log.Fatal(err)
+		}
+		count, err := receiver.Memory().PollNonZeroWord(p, completion)
+		if err != nil {
+			log.Fatal(err)
+		}
+		shuffled := p.Now().Sub(start)
+		fmt.Printf("StRoM shuffle: %d tuples into %d partitions in %v\n", count, nParts, shuffled)
+
+		// Verify: every tuple is in its radix partition.
+		total := 0
+		for pid := 0; pid < nParts; pid++ {
+			got, err := receiver.Memory().ReadVirt(partBase+strom.Addr(pid*partBytes), counts[pid]*8)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for i := 0; i < counts[pid]; i++ {
+				v := binary.LittleEndian.Uint64(got[i*8:])
+				if strom.ShufflePartition(v, nParts) != uint32(pid) {
+					log.Fatalf("tuple %#x in wrong partition %d", v, pid)
+				}
+			}
+			total += counts[pid]
+		}
+		fmt.Printf("verified: all %d tuples in their radix partitions\n", total)
+
+		// Baseline: the same bytes as a plain RDMA WRITE ("data
+		// partitioning acts as a bump in the wire": the two should be
+		// close).
+		start = p.Now()
+		if err := qp.WriteSync(p, uint64(bufS.Base()), uint64(bufR.Base()), len(data)); err != nil {
+			log.Fatal(err)
+		}
+		plain := p.Now().Sub(start)
+		fmt.Printf("plain RDMA WRITE of the same data: %v (shuffle overhead %.1f%%)\n",
+			plain, 100*(float64(shuffled)/float64(plain)-1))
+	})
+	cl.Run()
+	st := kern.Stats()
+	fmt.Printf("kernel stats: %d tuples, %d buffer flushes\n", st.Tuples, st.Flushes)
+}

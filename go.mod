@@ -1,0 +1,3 @@
+module strom
+
+go 1.22

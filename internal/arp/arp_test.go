@@ -1,0 +1,181 @@
+package arp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"strom/internal/fabric"
+	"strom/internal/packet"
+	"strom/internal/sim"
+)
+
+var (
+	macA = packet.MAC{2, 0, 0, 0, 0, 1}
+	macB = packet.MAC{2, 0, 0, 0, 0, 2}
+	ipA  = packet.AddrOf(10, 0, 0, 1)
+	ipB  = packet.AddrOf(10, 0, 0, 2)
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(op uint16, sip, tip uint32) bool {
+		in := Message{
+			Op:        op%2 + 1,
+			SenderMAC: macA,
+			SenderIP:  packet.IPv4(sip),
+			TargetMAC: macB,
+			TargetIP:  packet.IPv4(tip),
+		}
+		out, err := Decode(in.Encode())
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte{1, 2, 3}); err != ErrTruncated {
+		t.Errorf("short: %v", err)
+	}
+	notARP := make([]byte, FrameLen)
+	if _, err := Decode(notARP); err != ErrNotARP {
+		t.Errorf("ethertype: %v", err)
+	}
+}
+
+func TestRequestBroadcastsReplyUnicasts(t *testing.T) {
+	req := Message{Op: opRequest, SenderMAC: macA, SenderIP: ipA, TargetIP: ipB}.Encode()
+	if req[0] != 0xFF || req[5] != 0xFF {
+		t.Error("request not broadcast")
+	}
+	rep := Message{Op: opReply, SenderMAC: macB, SenderIP: ipB, TargetMAC: macA, TargetIP: ipA}.Encode()
+	var dst packet.MAC
+	copy(dst[:], rep[0:6])
+	if dst != macA {
+		t.Error("reply not unicast to requester")
+	}
+}
+
+func TestIsARPFrame(t *testing.T) {
+	if !IsARPFrame(Message{Op: opRequest}.Encode()) {
+		t.Error("ARP frame not recognised")
+	}
+	rocePkt := &packet.Packet{BTH: packet.BTH{Opcode: packet.OpAcknowledge}, AETH: &packet.AETH{}}
+	if IsARPFrame(rocePkt.Encode()) {
+		t.Error("RoCE frame misdetected as ARP")
+	}
+	if IsARPFrame([]byte{1}) {
+		t.Error("short frame misdetected")
+	}
+}
+
+// wire connects two modules through a fabric link.
+func wire(t *testing.T) (*sim.Engine, *Module, *Module) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	var link *fabric.Link
+	var a, b *Module
+	epA := fabric.EndpointFunc(func(f []byte) {
+		if err := a.HandleFrame(f); err != nil {
+			t.Errorf("a: %v", err)
+		}
+	})
+	epB := fabric.EndpointFunc(func(f []byte) {
+		if err := b.HandleFrame(f); err != nil {
+			t.Errorf("b: %v", err)
+		}
+	})
+	link = fabric.NewLink(eng, fabric.DirectCable10G(), epA, epB, nil)
+	a = New(eng, macA, ipA, func(f []byte) { link.SendFromA(f) }, 0)
+	b = New(eng, macB, ipB, func(f []byte) { link.SendFromB(f) }, 0)
+	return eng, a, b
+}
+
+func TestResolveOverWire(t *testing.T) {
+	eng, a, b := wire(t)
+	var got packet.MAC
+	var err error
+	eng.Go("resolver", func(p *sim.Process) {
+		got, err = a.Resolve(p, ipB)
+	})
+	eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != macB {
+		t.Errorf("resolved %v", got)
+	}
+	// The responder learned the requester from the request itself.
+	if mac, ok := b.Lookup(ipA); !ok || mac != macA {
+		t.Error("responder did not learn requester")
+	}
+	// Second resolve is a cache hit, no new request.
+	reqs := a.Requests
+	eng.Go("again", func(p *sim.Process) {
+		if _, err := a.Resolve(p, ipB); err != nil {
+			t.Error(err)
+		}
+	})
+	eng.Run()
+	if a.Requests != reqs {
+		t.Error("cache hit still sent a request")
+	}
+	if a.Hits != 1 {
+		t.Errorf("hits = %d", a.Hits)
+	}
+}
+
+func TestResolveTimeout(t *testing.T) {
+	eng := sim.NewEngine(1)
+	// No peer: requests vanish.
+	a := New(eng, macA, ipA, func([]byte) {}, 0)
+	var err error
+	eng.Go("resolver", func(p *sim.Process) {
+		_, err = a.Resolve(p, ipB)
+	})
+	eng.Run()
+	if err != ErrTimeout {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRequestForOtherIPIgnored(t *testing.T) {
+	eng, a, b := wire(t)
+	_ = a
+	req := Message{Op: opRequest, SenderMAC: macA, SenderIP: ipA, TargetIP: packet.AddrOf(10, 0, 0, 99)}.Encode()
+	if err := b.HandleFrame(req); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if b.Replies != 0 {
+		t.Error("replied to a request for a different IP")
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	eng := sim.NewEngine(1)
+	a := New(eng, macA, ipA, func([]byte) {}, 4)
+	for i := byte(1); i <= 6; i++ {
+		a.learn(packet.AddrOf(10, 0, 1, i), packet.MAC{2, 0, 0, 0, 1, i})
+	}
+	if a.Len() != 4 {
+		t.Errorf("len = %d, want capacity 4", a.Len())
+	}
+}
+
+func TestConcurrentResolvers(t *testing.T) {
+	eng, a, _ := wire(t)
+	done := 0
+	for i := 0; i < 3; i++ {
+		eng.Go("r", func(p *sim.Process) {
+			if mac, err := a.Resolve(p, ipB); err != nil || mac != macB {
+				t.Errorf("resolve: %v %v", mac, err)
+			}
+			done++
+		})
+	}
+	eng.Run()
+	if done != 3 {
+		t.Errorf("done = %d", done)
+	}
+}

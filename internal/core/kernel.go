@@ -1,0 +1,95 @@
+// Package core implements StRoM itself: the programmable-kernel framework
+// that sits on the data path between the RoCE stack and the DMA engine
+// (Figure 1), the strictly defined kernel interface of Listing 1, the RPC
+// op-code matching of §5.1, and the NIC assembly that ties the stack,
+// TLB, DMA engine and Controller together.
+package core
+
+import (
+	"strom/internal/fpga"
+	"strom/internal/hostmem"
+	"strom/internal/roce"
+	"strom/internal/sim"
+)
+
+// Kernel is the Go analogue of the Listing 1 HLS interface. The eight
+// hardware streams map as follows:
+//
+//	qpnIn, paramIn    -> Invoke(ctx, qpn, params)
+//	roceDataIn        -> Stream(ctx, qpn, data, last)
+//	dmaCmdOut/dmaDataIn/dmaDataOut -> ctx.DMARead / ctx.DMAWrite
+//	roceMetaOut/roceDataOut        -> ctx.RDMAWrite
+//
+// Kernels must consume their input at line rate (initiation interval 1,
+// §3.4); the framework models their latency as a short pipeline and their
+// occupancy through the Context's DMA and RDMA paths.
+type Kernel interface {
+	// Name identifies the kernel in traces and reports.
+	Name() string
+	// Invoke handles an RDMA RPC Params message addressed to this kernel.
+	Invoke(ctx *Context, qpn uint32, params []byte)
+	// Stream consumes one RDMA RPC WRITE payload segment.
+	Stream(ctx *Context, qpn uint32, data []byte, last bool)
+	// Resources estimates the kernel's FPGA footprint, used by the
+	// resource report alongside the base NIC usage.
+	Resources() fpga.Resources
+}
+
+// Context is a kernel's window onto its NIC: the DMA command interface,
+// the RoCE transmit interface, and pipeline-time scheduling. A Context is
+// created per deployment and shared by that kernel's invocations.
+type Context struct {
+	nic   *NIC
+	name  string
+	cycle sim.Duration
+}
+
+// Engine exposes the simulation engine (for kernels that keep timers).
+func (c *Context) Engine() *sim.Engine { return c.nic.eng }
+
+// Config returns the RoCE configuration of the hosting NIC.
+func (c *Context) Config() roce.Config { return c.nic.cfg.Roce }
+
+// MTUPayload returns the per-packet payload limit for RDMA writes.
+func (c *Context) MTUPayload() int { return c.nic.cfg.Roce.MTUPayload }
+
+// Delay schedules fn after n kernel pipeline cycles.
+func (c *Context) Delay(cycles int, fn func()) {
+	c.nic.eng.Schedule(sim.Duration(cycles)*c.cycle, fn)
+}
+
+// DMARead issues a read of host memory over the dmaCmdOut/dmaDataIn
+// streams: a PCIe round trip of roughly 1.5 µs (§6.2).
+func (c *Context) DMARead(va uint64, n int, done func([]byte, error)) {
+	c.nic.stats.KernelDMAReads++
+	c.nic.dma.ReadHost(hostmem.Addr(va), n, done)
+}
+
+// DMAWrite issues a write to host memory over dmaCmdOut/dmaDataOut.
+func (c *Context) DMAWrite(va uint64, data []byte, done func(error)) {
+	c.nic.stats.KernelDMAWrites++
+	c.nic.dma.WriteHost(hostmem.Addr(va), data, done)
+}
+
+// RDMAWrite transmits data to the remote memory of the peer connected on
+// qpn, over the roceMetaOut/roceDataOut streams ("the metadata consists
+// of the QPN, the target virtual address, and the length", §5.2).
+func (c *Context) RDMAWrite(qpn uint32, remoteVA uint64, data []byte, done func(error)) {
+	c.nic.stats.KernelRDMAWrites++
+	if err := c.nic.stack.PostWrite(qpn, remoteVA, data, done); err != nil && done != nil {
+		done(err)
+	}
+}
+
+// RDMARPC lets a kernel invoke a kernel on the peer NIC — the mechanism
+// behind send-receive kernel combinations (§3.5).
+func (c *Context) RDMARPC(qpn uint32, rpcOp uint64, params []byte, done func(error)) {
+	if err := c.nic.stack.PostRPC(qpn, rpcOp, params, done); err != nil && done != nil {
+		done(err)
+	}
+}
+
+// Tracef logs into the NIC trace.
+func (c *Context) Tracef(format string, args ...any) {
+	c.nic.tracer.Logf("kernel[%s]: "+format, append([]any{c.name}, args...)...)
+}

@@ -1,0 +1,469 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"strom/internal/arp"
+	"strom/internal/cpu"
+	"strom/internal/fpga"
+	"strom/internal/hostmem"
+	"strom/internal/packet"
+	"strom/internal/pcie"
+	"strom/internal/roce"
+	"strom/internal/sim"
+	"strom/internal/tlb"
+)
+
+// Errors returned by the NIC.
+var (
+	ErrNoKernel       = errors.New("strom: no kernel matches RPC op-code")
+	ErrKernelDeployed = errors.New("strom: RPC op-code already bound")
+	ErrNotRegistered  = errors.New("strom: address range not registered with the NIC")
+)
+
+// kernelPipelineCycles is the latency a kernel adds on the data path —
+// "negligible latency while not impacting throughput" (§3.2).
+const kernelPipelineCycles = 6
+
+// Config assembles the component configurations of one machine: NIC
+// clocking, host interconnect and host CPU.
+type Config struct {
+	Roce        roce.Config
+	PCIe        pcie.Config
+	Host        cpu.Model
+	MemoryPages int // host DRAM capacity in 2 MB huge pages
+}
+
+// Profile10G is the paper's 10 G testbed machine (§6.1).
+func Profile10G() Config {
+	return Config{Roce: roce.Config10G(), PCIe: pcie.Gen3x8(), Host: cpu.Platform10G(), MemoryPages: 2048}
+}
+
+// Profile100G is the paper's 100 G testbed machine (§7).
+func Profile100G() Config {
+	return Config{Roce: roce.Config100G(), PCIe: pcie.Gen3x16(), Host: cpu.Platform100G(), MemoryPages: 2048}
+}
+
+// NICStats counts StRoM-layer activity.
+type NICStats struct {
+	Doorbells        uint64
+	RPCsDispatched   uint64
+	RPCsFallback     uint64
+	RPCsUnmatched    uint64
+	StreamSegments   uint64
+	KernelDMAReads   uint64
+	KernelDMAWrites  uint64
+	KernelRDMAWrites uint64
+}
+
+// RPCFallback is the optional host-CPU fallback for unmatched RPC
+// op-codes ("if configured a priori by the remote CPU", §5.1).
+type RPCFallback func(qpn uint32, rpcOp uint64, params []byte)
+
+// deployment binds a kernel to its per-NIC context.
+type deployment struct {
+	kernel Kernel
+	ctx    *Context
+}
+
+// NIC is one StRoM machine: FPGA NIC (RoCE stack + TLB + DMA + kernels)
+// plus its host memory and CPU model.
+type NIC struct {
+	eng      *sim.Engine
+	cfg      Config
+	mem      *hostmem.Memory
+	tlb      *tlb.TLB
+	dma      *pcie.Engine
+	stack    *roce.Stack
+	arp      *arp.Module
+	transmit func([]byte)
+	tracer   *sim.Tracer
+
+	kernels  map[uint64]*deployment
+	fallback RPCFallback
+	doorbell *sim.Serializer
+	stats    NICStats
+}
+
+// NewNIC builds a machine with the given identity. Call SetTransmit (or
+// wire it through a fabric.Link using the NIC as an Endpoint) before
+// posting operations.
+func NewNIC(eng *sim.Engine, cfg Config, id roce.Identity, tracer *sim.Tracer) *NIC {
+	n := &NIC{
+		eng:      eng,
+		cfg:      cfg,
+		mem:      hostmem.New(cfg.MemoryPages),
+		tlb:      tlb.New(0),
+		tracer:   tracer,
+		kernels:  make(map[uint64]*deployment),
+		doorbell: sim.NewSerializer(eng),
+	}
+	n.dma = pcie.NewEngine(eng, n.mem, n.tlb, cfg.PCIe)
+	n.stack = roce.NewStack(eng, cfg.Roce, id, n, func(f []byte) { n.transmit(f) }, tracer)
+	n.arp = arp.New(eng, id.MAC, id.IP, func(f []byte) { n.transmit(f) }, 0)
+	return n
+}
+
+// SetTransmit wires the NIC's Ethernet port into a fabric.
+func (n *NIC) SetTransmit(fn func([]byte)) { n.transmit = fn }
+
+// DeliverFrame implements fabric.Endpoint: ARP frames go to the ARP
+// module, everything else to the RoCE stack (§4.1).
+func (n *NIC) DeliverFrame(frame []byte) {
+	if arp.IsARPFrame(frame) {
+		if err := n.arp.HandleFrame(frame); err != nil {
+			n.tracer.Logf("nic: arp: %v", err)
+		}
+		return
+	}
+	n.stack.DeliverFrame(frame)
+}
+
+// ARP exposes the address-resolution module.
+func (n *NIC) ARP() *arp.Module { return n.arp }
+
+// ResolveMAC resolves a peer's MAC over the wire, blocking the process.
+func (n *NIC) ResolveMAC(p *sim.Process, ip packet.IPv4) (packet.MAC, error) {
+	return n.arp.Resolve(p, ip)
+}
+
+// Engine returns the simulation engine.
+func (n *NIC) Engine() *sim.Engine { return n.eng }
+
+// Memory returns the host memory.
+func (n *NIC) Memory() *hostmem.Memory { return n.mem }
+
+// DMA returns the DMA engine (visible for stats and tests).
+func (n *NIC) DMA() *pcie.Engine { return n.dma }
+
+// Stack returns the RoCE stack (visible for stats and tests).
+func (n *NIC) Stack() *roce.Stack { return n.stack }
+
+// Config returns the machine configuration.
+func (n *NIC) Config() Config { return n.cfg }
+
+// Host returns the host CPU model.
+func (n *NIC) Host() cpu.Model { return n.cfg.Host }
+
+// Stats returns a snapshot of the StRoM-layer counters.
+func (n *NIC) Stats() NICStats { return n.stats }
+
+// Identity returns the NIC's network identity.
+func (n *NIC) Identity() roce.Identity { return n.stack.Identity() }
+
+// CreateQP connects a local queue pair to a remote one.
+func (n *NIC) CreateQP(qpn uint32, remote roce.Identity, remoteQPN uint32) error {
+	return n.stack.CreateQP(qpn, remote, remoteQPN)
+}
+
+// AllocBuffer allocates pinned host memory and registers it with the
+// NIC's TLB (the driver path of §4.3: pin every page, return physical
+// addresses, populate the TLB once).
+func (n *NIC) AllocBuffer(size int) (*hostmem.Buffer, error) {
+	buf, err := n.mem.Allocate(size)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.RegisterMemory(buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// RegisterMemory populates the TLB for an already-allocated buffer.
+func (n *NIC) RegisterMemory(buf *hostmem.Buffer) error {
+	pas, err := buf.PhysicalPages()
+	if err != nil {
+		return err
+	}
+	for i, pa := range pas {
+		va := buf.Base() + hostmem.Addr(i*hostmem.HugePageSize)
+		if err := n.tlb.Populate(va, pa); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeployKernel binds a kernel to an RPC op-code; incoming RPCs are
+// matched against deployed kernels by this code (§5.1, the Portals-style
+// matching enabling multi-kernel deployments).
+func (n *NIC) DeployKernel(rpcOp uint64, k Kernel) error {
+	if _, ok := n.kernels[rpcOp]; ok {
+		return fmt.Errorf("%w: %#x", ErrKernelDeployed, rpcOp)
+	}
+	n.kernels[rpcOp] = &deployment{
+		kernel: k,
+		ctx:    &Context{nic: n, name: k.Name(), cycle: n.cfg.Roce.Cycle()},
+	}
+	return nil
+}
+
+// SetFallback installs the host-CPU fallback for unmatched RPCs.
+func (n *NIC) SetFallback(f RPCFallback) { n.fallback = f }
+
+// KernelResources sums the footprints of all deployed kernels.
+func (n *NIC) KernelResources() fpga.Resources {
+	var r fpga.Resources
+	for _, d := range n.kernels {
+		r = r.Add(d.kernel.Resources())
+	}
+	return r
+}
+
+// --- responder side: roce.Handler ------------------------------------------
+
+// HandleWrite implements the direct RoCE→DMA path for plain RDMA WRITEs;
+// kernels are not involved (§5.2: the existing direct data path remains).
+func (n *NIC) HandleWrite(qpn uint32, va uint64, data []byte, last bool) {
+	n.dma.WriteHost(hostmem.Addr(va), data, func(err error) {
+		if err != nil {
+			n.tracer.Logf("nic: write DMA failed: %v", err)
+		}
+	})
+}
+
+// HandleReadRequest implements the direct DMA→RoCE path for RDMA READs.
+func (n *NIC) HandleReadRequest(qpn uint32, va uint64, nbytes int, deliver func([]byte, error)) {
+	n.dma.ReadHost(hostmem.Addr(va), nbytes, deliver)
+}
+
+// HandleRPCParams matches the RPC op-code against deployed kernels and
+// invokes the winner after the kernel pipeline delay. With no match, the
+// configured CPU fallback runs (charged host latency), or the request is
+// NAKed so an error code reaches the requester (§5.1).
+func (n *NIC) HandleRPCParams(qpn uint32, rpcOp uint64, params []byte) error {
+	if d, ok := n.kernels[rpcOp]; ok {
+		n.stats.RPCsDispatched++
+		p := append([]byte(nil), params...)
+		n.eng.Schedule(n.cfg.Roce.Cycles(kernelPipelineCycles), func() {
+			d.kernel.Invoke(d.ctx, qpn, p)
+		})
+		return nil
+	}
+	if n.fallback != nil {
+		n.stats.RPCsFallback++
+		p := append([]byte(nil), params...)
+		// The fallback crosses PCIe to the host and waits for a core to
+		// pick the request up.
+		n.eng.Schedule(n.cfg.PCIe.WriteLatency+n.cfg.Host.PollInterval, func() {
+			n.fallback(qpn, rpcOp, p)
+		})
+		return nil
+	}
+	n.stats.RPCsUnmatched++
+	return fmt.Errorf("%w: %#x", ErrNoKernel, rpcOp)
+}
+
+// HandleRPCWrite streams RPC WRITE payload into the matched kernel.
+func (n *NIC) HandleRPCWrite(qpn uint32, rpcOp uint64, data []byte, last bool) error {
+	d, ok := n.kernels[rpcOp]
+	if !ok {
+		n.stats.RPCsUnmatched++
+		return fmt.Errorf("%w: %#x", ErrNoKernel, rpcOp)
+	}
+	n.stats.StreamSegments++
+	buf := append([]byte(nil), data...)
+	n.eng.Schedule(n.cfg.Roce.Cycles(kernelPipelineCycles), func() {
+		d.kernel.Stream(d.ctx, qpn, buf, last)
+	})
+	return nil
+}
+
+// --- requester side: host verbs --------------------------------------------
+
+// ringDoorbell models the host issuing one command to the NIC: a single
+// memory-mapped AVX2 store, rate-limited by the I/O subsystem (§7.1).
+func (n *NIC) ringDoorbell(fn func()) {
+	n.stats.Doorbells++
+	end := n.doorbell.Reserve(n.cfg.Host.DoorbellInterval)
+	n.eng.ScheduleAt(end.Add(n.cfg.PCIe.MMIOWriteLatency), fn)
+}
+
+// PostWrite issues an RDMA WRITE of n bytes from local memory at localVA
+// to the remote address remoteVA. The request handler fetches the payload
+// over DMA before transmission (§4.1).
+func (n *NIC) PostWrite(qpn uint32, localVA, remoteVA uint64, nbytes int, done func(error)) {
+	n.ringDoorbell(func() {
+		n.dma.ReadHost(hostmem.Addr(localVA), nbytes, func(data []byte, err error) {
+			if err != nil {
+				n.completeErr(done, err)
+				return
+			}
+			if err := n.stack.PostWrite(qpn, remoteVA, data, done); err != nil {
+				n.completeErr(done, err)
+			}
+		})
+	})
+}
+
+// PostRead issues an RDMA READ of n bytes from remoteVA into local memory
+// at localVA. Response chunks are DMA-written as they arrive; done fires
+// when the final chunk is visible to a polling CPU.
+func (n *NIC) PostRead(qpn uint32, remoteVA, localVA uint64, nbytes int, done func(error)) {
+	n.ringDoorbell(func() {
+		sink := func(off int, chunk []byte, ack func()) {
+			n.dma.WriteHost(hostmem.Addr(localVA)+hostmem.Addr(off), chunk, func(err error) {
+				if err != nil {
+					n.tracer.Logf("nic: read sink DMA failed: %v", err)
+				}
+				ack()
+			})
+		}
+		if err := n.stack.PostRead(qpn, remoteVA, nbytes, sink, done); err != nil {
+			n.completeErr(done, err)
+		}
+	})
+}
+
+// PostRPC issues an RDMA RPC: op-code plus parameters, all carried in the
+// doorbell write (Listing 5's postRpc).
+func (n *NIC) PostRPC(qpn uint32, rpcOp uint64, params []byte, done func(error)) {
+	p := append([]byte(nil), params...)
+	n.ringDoorbell(func() {
+		if err := n.stack.PostRPC(qpn, rpcOp, p, done); err != nil {
+			n.completeErr(done, err)
+		}
+	})
+}
+
+// PostRPCWrite issues an RDMA RPC WRITE: n bytes at localVA are fetched
+// over DMA and streamed to the remote kernel (Listing 5's postRpcWrite).
+func (n *NIC) PostRPCWrite(qpn uint32, rpcOp uint64, localVA uint64, nbytes int, done func(error)) {
+	n.ringDoorbell(func() {
+		n.dma.ReadHost(hostmem.Addr(localVA), nbytes, func(data []byte, err error) {
+			if err != nil {
+				n.completeErr(done, err)
+				return
+			}
+			if err := n.stack.PostRPCWrite(qpn, rpcOp, data, done); err != nil {
+				n.completeErr(done, err)
+			}
+		})
+	})
+}
+
+// InvokeLocal posts an RPC to the local NIC ("StRoM kernels can also be
+// invoked by the local host by posting an RPC to the local network card",
+// §5.2). The kernel runs on this NIC with qpn naming the QP it may
+// respond over.
+func (n *NIC) InvokeLocal(rpcOp uint64, qpn uint32, params []byte, done func(error)) {
+	p := append([]byte(nil), params...)
+	n.ringDoorbell(func() {
+		d, ok := n.kernels[rpcOp]
+		if !ok {
+			n.completeErr(done, fmt.Errorf("%w: %#x", ErrNoKernel, rpcOp))
+			return
+		}
+		n.stats.RPCsDispatched++
+		n.eng.Schedule(n.cfg.Roce.Cycles(kernelPipelineCycles), func() {
+			d.kernel.Invoke(d.ctx, qpn, p)
+			if done != nil {
+				done(nil)
+			}
+		})
+	})
+}
+
+// StreamLocal runs local data through a kernel as a send-side
+// bump-in-the-wire: payload is DMA-fetched and streamed segment by
+// segment (a send kernel, §3.5).
+func (n *NIC) StreamLocal(rpcOp uint64, qpn uint32, localVA uint64, nbytes int, done func(error)) {
+	n.ringDoorbell(func() {
+		d, ok := n.kernels[rpcOp]
+		if !ok {
+			n.completeErr(done, fmt.Errorf("%w: %#x", ErrNoKernel, rpcOp))
+			return
+		}
+		n.dma.ReadHost(hostmem.Addr(localVA), nbytes, func(data []byte, err error) {
+			if err != nil {
+				n.completeErr(done, err)
+				return
+			}
+			mtu := n.cfg.Roce.MTUPayload
+			for off := 0; off < len(data) || off == 0; off += mtu {
+				end := off + mtu
+				if end > len(data) {
+					end = len(data)
+				}
+				last := end == len(data)
+				chunk := data[off:end]
+				n.stats.StreamSegments++
+				d.kernel.Stream(d.ctx, qpn, chunk, last)
+				if last {
+					break
+				}
+			}
+			if done != nil {
+				done(nil)
+			}
+		})
+	})
+}
+
+func (n *NIC) completeErr(done func(error), err error) {
+	if done != nil {
+		done(err)
+	} else {
+		n.tracer.Logf("nic: dropped error (no completion): %v", err)
+	}
+}
+
+// --- process-context helpers -----------------------------------------------
+
+// WriteSync performs PostWrite and blocks the calling process.
+func (n *NIC) WriteSync(p *sim.Process, qpn uint32, localVA, remoteVA uint64, nbytes int) error {
+	c := &sim.Completion[struct{}]{}
+	n.PostWrite(qpn, localVA, remoteVA, nbytes, func(err error) {
+		if err != nil {
+			c.Fail(err)
+		} else {
+			c.Complete(struct{}{})
+		}
+	})
+	_, err := c.Wait(p)
+	return err
+}
+
+// ReadSync performs PostRead and blocks the calling process.
+func (n *NIC) ReadSync(p *sim.Process, qpn uint32, remoteVA, localVA uint64, nbytes int) error {
+	c := &sim.Completion[struct{}]{}
+	n.PostRead(qpn, remoteVA, localVA, nbytes, func(err error) {
+		if err != nil {
+			c.Fail(err)
+		} else {
+			c.Complete(struct{}{})
+		}
+	})
+	_, err := c.Wait(p)
+	return err
+}
+
+// RPCSync performs PostRPC and blocks until the remote NIC acknowledges.
+func (n *NIC) RPCSync(p *sim.Process, qpn uint32, rpcOp uint64, params []byte) error {
+	c := &sim.Completion[struct{}]{}
+	n.PostRPC(qpn, rpcOp, params, func(err error) {
+		if err != nil {
+			c.Fail(err)
+		} else {
+			c.Complete(struct{}{})
+		}
+	})
+	_, err := c.Wait(p)
+	return err
+}
+
+// RPCWriteSync performs PostRPCWrite and blocks until acknowledged.
+func (n *NIC) RPCWriteSync(p *sim.Process, qpn uint32, rpcOp uint64, localVA uint64, nbytes int) error {
+	c := &sim.Completion[struct{}]{}
+	n.PostRPCWrite(qpn, rpcOp, localVA, nbytes, func(err error) {
+		if err != nil {
+			c.Fail(err)
+		} else {
+			c.Complete(struct{}{})
+		}
+	})
+	_, err := c.Wait(p)
+	return err
+}

@@ -1,0 +1,440 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"strom/internal/fabric"
+	"strom/internal/fpga"
+	"strom/internal/hostmem"
+	"strom/internal/packet"
+	"strom/internal/roce"
+	"strom/internal/sim"
+)
+
+// echoKernel is a minimal RPC kernel: params are (va, len, targetVA); it
+// DMA-reads [va, va+len) from its host and RDMA-writes the bytes back to
+// the requester's targetVA.
+type echoKernel struct{ invocations int }
+
+func (k *echoKernel) Name() string { return "echo" }
+
+func (k *echoKernel) Invoke(ctx *Context, qpn uint32, params []byte) {
+	k.invocations++
+	va := binary.LittleEndian.Uint64(params[0:8])
+	n := binary.LittleEndian.Uint32(params[8:12])
+	target := binary.LittleEndian.Uint64(params[12:20])
+	ctx.DMARead(va, int(n), func(data []byte, err error) {
+		if err != nil {
+			ctx.Tracef("dma read failed: %v", err)
+			return
+		}
+		ctx.RDMAWrite(qpn, target, data, nil)
+	})
+}
+
+func (k *echoKernel) Stream(ctx *Context, qpn uint32, data []byte, last bool) {}
+
+func (k *echoKernel) Resources() fpga.Resources {
+	return fpga.Resources{LUTs: 2000, FFs: 3000, BRAMs: 4}
+}
+
+// countKernel counts streamed bytes and writes an 8-byte total to the
+// requester when the stream ends (params: targetVA).
+type countKernel struct {
+	total  int
+	target uint64
+}
+
+func (k *countKernel) Name() string { return "count" }
+
+func (k *countKernel) Invoke(ctx *Context, qpn uint32, params []byte) {
+	k.target = binary.LittleEndian.Uint64(params)
+}
+
+func (k *countKernel) Stream(ctx *Context, qpn uint32, data []byte, last bool) {
+	k.total += len(data)
+	if last {
+		out := make([]byte, 8)
+		binary.LittleEndian.PutUint64(out, uint64(k.total))
+		ctx.RDMAWrite(qpn, k.target, out, nil)
+	}
+}
+
+func (k *countKernel) Resources() fpga.Resources {
+	return fpga.Resources{LUTs: 1000, FFs: 1500, BRAMs: 2}
+}
+
+type rig struct {
+	eng  *sim.Engine
+	a, b *NIC
+	link *fabric.Link
+	bufA *hostmem.Buffer
+	bufB *hostmem.Buffer
+}
+
+func newRig(t *testing.T, seed int64, cfg Config, linkCfg fabric.LinkConfig) *rig {
+	t.Helper()
+	eng := sim.NewEngine(seed)
+	idA := roce.Identity{MAC: packet.MAC{2, 0, 0, 0, 0, 1}, IP: packet.AddrOf(10, 0, 0, 1)}
+	idB := roce.Identity{MAC: packet.MAC{2, 0, 0, 0, 0, 2}, IP: packet.AddrOf(10, 0, 0, 2)}
+	a := NewNIC(eng, cfg, idA, nil)
+	b := NewNIC(eng, cfg, idB, nil)
+	link := fabric.NewLink(eng, linkCfg, a, b, nil)
+	a.SetTransmit(link.SendFromA)
+	b.SetTransmit(link.SendFromB)
+	if err := a.CreateQP(1, idB, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CreateQP(2, idA, 1); err != nil {
+		t.Fatal(err)
+	}
+	bufA, err := a.AllocBuffer(8 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufB, err := b.AllocBuffer(8 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{eng: eng, a: a, b: b, link: link, bufA: bufA, bufB: bufB}
+}
+
+func TestNICWriteEndToEnd(t *testing.T) {
+	r := newRig(t, 1, Profile10G(), fabric.DirectCable10G())
+	payload := make([]byte, 1000)
+	rand.New(rand.NewSource(1)).Read(payload)
+	if err := r.a.Memory().WriteVirt(r.bufA.Base(), payload); err != nil {
+		t.Fatal(err)
+	}
+	var done bool
+	r.eng.Schedule(0, func() {
+		r.a.PostWrite(1, uint64(r.bufA.Base()), uint64(r.bufB.Base())+512, len(payload), func(err error) {
+			if err != nil {
+				t.Errorf("write: %v", err)
+			}
+			done = true
+		})
+	})
+	r.eng.Run()
+	if !done {
+		t.Fatal("no completion")
+	}
+	got, err := r.b.Memory().ReadVirt(r.bufB.Base()+512, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("payload mismatch at remote host")
+	}
+}
+
+func TestNICReadEndToEnd(t *testing.T) {
+	r := newRig(t, 1, Profile10G(), fabric.DirectCable10G())
+	want := make([]byte, 3000)
+	rand.New(rand.NewSource(2)).Read(want)
+	if err := r.b.Memory().WriteVirt(r.bufB.Base()+100, want); err != nil {
+		t.Fatal(err)
+	}
+	var done bool
+	r.eng.Schedule(0, func() {
+		r.a.PostRead(1, uint64(r.bufB.Base())+100, uint64(r.bufA.Base()), len(want), func(err error) {
+			if err != nil {
+				t.Errorf("read: %v", err)
+			}
+			done = true
+		})
+	})
+	r.eng.Run()
+	if !done {
+		t.Fatal("no completion")
+	}
+	got, _ := r.a.Memory().ReadVirt(r.bufA.Base(), len(want))
+	if !bytes.Equal(got, want) {
+		t.Error("read data mismatch")
+	}
+}
+
+func TestNICPingPongLatency(t *testing.T) {
+	// The §6.1 latency benchmark: initiator writes, remote polls and
+	// writes back, initiator polls; the half-round-trip at 64 B should be
+	// in the low microseconds at 10 G (Fig. 5a).
+	r := newRig(t, 1, Profile10G(), fabric.DirectCable10G())
+	const payload = 64
+	hostA, hostB := r.a.Host(), r.b.Host()
+	var rtt sim.Duration
+	r.eng.Go("responder", func(p *sim.Process) {
+		if err := hostB.PollNonZero(p, r.b.Memory(), r.bufB.Base(), 0); err != nil {
+			t.Errorf("responder poll: %v", err)
+			return
+		}
+		if err := r.b.WriteSync(p, 2, uint64(r.bufB.Base()), uint64(r.bufA.Base()), payload); err != nil {
+			t.Errorf("pong write: %v", err)
+		}
+	})
+	r.eng.Go("initiator", func(p *sim.Process) {
+		data := bytes.Repeat([]byte{0xFF}, payload)
+		if err := r.a.Memory().WriteVirt(r.bufA.Base()+hostmem.Addr(payload), data); err != nil {
+			t.Error(err)
+			return
+		}
+		start := p.Now()
+		if err := r.a.WriteSync(p, 1, uint64(r.bufA.Base())+payload, uint64(r.bufB.Base()), payload); err != nil {
+			t.Errorf("ping write: %v", err)
+			return
+		}
+		if err := hostA.PollNonZero(p, r.a.Memory(), r.bufA.Base(), 0); err != nil {
+			t.Errorf("initiator poll: %v", err)
+			return
+		}
+		rtt = p.Now().Sub(start)
+	})
+	r.eng.Run()
+	half := rtt.Microseconds() / 2
+	if half < 1.5 || half > 6 {
+		t.Errorf("64B write latency (RTT/2) = %.2f us, want low single digits", half)
+	}
+}
+
+func TestRPCKernelSingleRoundTrip(t *testing.T) {
+	r := newRig(t, 1, Profile10G(), fabric.DirectCable10G())
+	k := &echoKernel{}
+	if err := r.b.DeployKernel(0x10, k); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("kernel echo data 1234567890")
+	if err := r.b.Memory().WriteVirt(r.bufB.Base()+4096, want); err != nil {
+		t.Fatal(err)
+	}
+	var elapsed sim.Duration
+	r.eng.Go("client", func(p *sim.Process) {
+		params := make([]byte, 20)
+		binary.LittleEndian.PutUint64(params[0:8], uint64(r.bufB.Base())+4096)
+		binary.LittleEndian.PutUint32(params[8:12], uint32(len(want)))
+		binary.LittleEndian.PutUint64(params[12:20], uint64(r.bufA.Base()))
+		start := p.Now()
+		if err := r.a.RPCSync(p, 1, 0x10, params); err != nil {
+			t.Errorf("rpc: %v", err)
+			return
+		}
+		if err := r.a.Host().PollNonZero(p, r.a.Memory(), r.bufA.Base(), 0); err != nil {
+			t.Errorf("poll: %v", err)
+			return
+		}
+		elapsed = p.Now().Sub(start)
+	})
+	r.eng.Run()
+	got, _ := r.a.Memory().ReadVirt(r.bufA.Base(), len(want))
+	if !bytes.Equal(got, want) {
+		t.Errorf("echo mismatch: %q", got)
+	}
+	if k.invocations != 1 {
+		t.Errorf("invocations = %d", k.invocations)
+	}
+	// One network round trip plus one PCIe read: well under two network
+	// round trips plus two PCIe reads (the READ-based alternative).
+	if us := elapsed.Microseconds(); us < 3 || us > 12 {
+		t.Errorf("RPC round trip = %.2f us", us)
+	}
+	if r.b.Stats().RPCsDispatched != 1 {
+		t.Errorf("dispatched = %d", r.b.Stats().RPCsDispatched)
+	}
+}
+
+func TestRPCUnmatchedReturnsError(t *testing.T) {
+	r := newRig(t, 1, Profile10G(), fabric.DirectCable10G())
+	var got error
+	done := false
+	r.eng.Schedule(0, func() {
+		r.a.PostRPC(1, 0x99, []byte("x"), func(err error) { got = err; done = true })
+	})
+	r.eng.Run()
+	if !done {
+		t.Fatal("no completion")
+	}
+	if !errors.Is(got, roce.ErrRemoteInvalid) {
+		t.Errorf("err = %v", got)
+	}
+	if r.b.Stats().RPCsUnmatched != 1 {
+		t.Errorf("unmatched = %d", r.b.Stats().RPCsUnmatched)
+	}
+}
+
+func TestRPCFallbackToCPU(t *testing.T) {
+	r := newRig(t, 1, Profile10G(), fabric.DirectCable10G())
+	var fbOp uint64
+	var fbParams []byte
+	r.b.SetFallback(func(qpn uint32, rpcOp uint64, params []byte) {
+		fbOp = rpcOp
+		fbParams = params
+	})
+	ok := false
+	r.eng.Schedule(0, func() {
+		r.a.PostRPC(1, 0x77, []byte("fallback me"), func(err error) { ok = err == nil })
+	})
+	r.eng.Run()
+	if !ok {
+		t.Fatal("rpc failed despite fallback")
+	}
+	if fbOp != 0x77 || string(fbParams) != "fallback me" {
+		t.Errorf("fallback got op=%#x params=%q", fbOp, fbParams)
+	}
+	if r.b.Stats().RPCsFallback != 1 {
+		t.Errorf("fallback count = %d", r.b.Stats().RPCsFallback)
+	}
+}
+
+func TestRPCWriteStreamsToKernel(t *testing.T) {
+	r := newRig(t, 1, Profile10G(), fabric.DirectCable10G())
+	k := &countKernel{}
+	if err := r.b.DeployKernel(0x20, k); err != nil {
+		t.Fatal(err)
+	}
+	n := Profile10G().Roce.MTUPayload*3 + 41
+	data := make([]byte, n)
+	rand.New(rand.NewSource(3)).Read(data)
+	if err := r.a.Memory().WriteVirt(r.bufA.Base()+4096, data); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Go("client", func(p *sim.Process) {
+		params := make([]byte, 8)
+		binary.LittleEndian.PutUint64(params, uint64(r.bufA.Base()))
+		if err := r.a.RPCSync(p, 1, 0x20, params); err != nil {
+			t.Errorf("rpc params: %v", err)
+			return
+		}
+		if err := r.a.RPCWriteSync(p, 1, 0x20, uint64(r.bufA.Base())+4096, n); err != nil {
+			t.Errorf("rpc write: %v", err)
+			return
+		}
+		if err := r.a.Host().PollNonZero(p, r.a.Memory(), r.bufA.Base(), 0); err != nil {
+			t.Errorf("poll: %v", err)
+		}
+	})
+	r.eng.Run()
+	if k.total != n {
+		t.Errorf("kernel saw %d bytes, want %d", k.total, n)
+	}
+	got, _ := r.a.Memory().ReadVirt(r.bufA.Base(), 8)
+	if binary.LittleEndian.Uint64(got) != uint64(n) {
+		t.Errorf("count written back = %d", binary.LittleEndian.Uint64(got))
+	}
+}
+
+func TestInvokeLocal(t *testing.T) {
+	r := newRig(t, 1, Profile10G(), fabric.DirectCable10G())
+	k := &echoKernel{}
+	if err := r.a.DeployKernel(0x30, k); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("local invocation")
+	if err := r.a.Memory().WriteVirt(r.bufA.Base()+4096, want); err != nil {
+		t.Fatal(err)
+	}
+	ok := false
+	r.eng.Schedule(0, func() {
+		params := make([]byte, 20)
+		binary.LittleEndian.PutUint64(params[0:8], uint64(r.bufA.Base())+4096)
+		binary.LittleEndian.PutUint32(params[8:12], uint32(len(want)))
+		binary.LittleEndian.PutUint64(params[12:20], uint64(r.bufB.Base()))
+		r.a.InvokeLocal(0x30, 1, params, func(err error) { ok = err == nil })
+	})
+	r.eng.Run()
+	if !ok || k.invocations != 1 {
+		t.Fatalf("ok=%v invocations=%d", ok, k.invocations)
+	}
+	// The local kernel read local memory and wrote it to the REMOTE node.
+	got, _ := r.b.Memory().ReadVirt(r.bufB.Base(), len(want))
+	if !bytes.Equal(got, want) {
+		t.Error("local kernel did not deliver to remote memory")
+	}
+}
+
+func TestStreamLocal(t *testing.T) {
+	r := newRig(t, 1, Profile10G(), fabric.DirectCable10G())
+	k := &countKernel{}
+	if err := r.a.DeployKernel(0x40, k); err != nil {
+		t.Fatal(err)
+	}
+	n := 5000
+	ok := false
+	r.eng.Schedule(0, func() {
+		params := make([]byte, 8)
+		binary.LittleEndian.PutUint64(params, uint64(r.bufB.Base()))
+		r.a.InvokeLocal(0x40, 1, params, nil)
+		r.a.StreamLocal(0x40, 1, uint64(r.bufA.Base()), n, func(err error) { ok = err == nil })
+	})
+	r.eng.Run()
+	if !ok || k.total != n {
+		t.Errorf("ok=%v total=%d", ok, k.total)
+	}
+}
+
+func TestDeployKernelDuplicate(t *testing.T) {
+	r := newRig(t, 1, Profile10G(), fabric.DirectCable10G())
+	if err := r.a.DeployKernel(1, &echoKernel{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.a.DeployKernel(1, &countKernel{}); !errors.Is(err, ErrKernelDeployed) {
+		t.Errorf("err = %v", err)
+	}
+	res := r.a.KernelResources()
+	if res.LUTs != 2000 {
+		t.Errorf("kernel resources = %+v", res)
+	}
+}
+
+func TestInvokeLocalUnknownKernel(t *testing.T) {
+	r := newRig(t, 1, Profile10G(), fabric.DirectCable10G())
+	var got error
+	r.eng.Schedule(0, func() {
+		r.a.InvokeLocal(0xAB, 1, nil, func(err error) { got = err })
+	})
+	r.eng.Run()
+	if !errors.Is(got, ErrNoKernel) {
+		t.Errorf("err = %v", got)
+	}
+}
+
+func TestDoorbellRateLimitsMessageRate(t *testing.T) {
+	// Many small writes: the completion rate is bounded by the doorbell
+	// interval (~7.1 M/s on the 10 G platform), not the wire.
+	r := newRig(t, 1, Profile10G(), fabric.DirectCable10G())
+	const msgs = 2000
+	remaining := msgs
+	var done sim.Time
+	r.eng.Schedule(0, func() {
+		for i := 0; i < msgs; i++ {
+			r.a.PostWrite(1, uint64(r.bufA.Base()), uint64(r.bufB.Base()), 8, func(err error) {
+				if err != nil {
+					t.Error(err)
+				}
+				remaining--
+				if remaining == 0 {
+					done = r.eng.Now()
+				}
+			})
+		}
+	})
+	r.eng.Run()
+	rate := float64(msgs) / sim.Duration(done).Seconds() / 1e6
+	if rate < 4 || rate > 7.5 {
+		t.Errorf("message rate = %.2f M/s, want ~7 (doorbell bound)", rate)
+	}
+}
+
+func TestProfilePresets(t *testing.T) {
+	p10, p100 := Profile10G(), Profile100G()
+	if p10.Roce.LineRateGbps != 10 || p100.Roce.LineRateGbps != 100 {
+		t.Error("line rates wrong")
+	}
+	if p100.PCIe.BandwidthGbps <= p10.PCIe.BandwidthGbps {
+		t.Error("PCIe bandwidth ordering wrong")
+	}
+	if p100.Host.DoorbellInterval >= p10.Host.DoorbellInterval {
+		t.Error("doorbell interval ordering wrong")
+	}
+}

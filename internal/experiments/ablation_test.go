@@ -1,0 +1,117 @@
+package experiments
+
+import "testing"
+
+func TestAblationDoorbell(t *testing.T) {
+	fig, err := AblationDoorbell(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := lookup(t, fig, "StRoM: Write", "25ns")
+	mid := lookup(t, fig, "StRoM: Write", "140ns")
+	slow := lookup(t, fig, "StRoM: Write", "280ns")
+	if !(fast > mid && mid > slow) {
+		t.Errorf("message rate not monotone in doorbell rate: %.1f/%.1f/%.1f", fast, mid, slow)
+	}
+	// At 140 ns the rate should be ~1/140ns = 7.1 M/s: host-bound.
+	if mid < 5 || mid > 7.5 {
+		t.Errorf("140ns rate = %.1f M/s", mid)
+	}
+	// At 25 ns the doorbell path could issue 40 M/s, but the 10 G wire
+	// and TX pipeline cap 64 B frames near 8 M/s: the bottleneck shifts
+	// from the host to the NIC, so the rate rises only slightly.
+	if fast > 12 {
+		t.Errorf("25ns rate = %.1f M/s, should be pipeline-bound near 8", fast)
+	}
+}
+
+func TestAblationPCIeLatency(t *testing.T) {
+	fig, err := AblationPCIeLatency(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := lookup(t, fig, "StRoM traversal", "1300ns")
+	fast := lookup(t, fig, "StRoM traversal", "80ns")
+	if slow < 1.2 || slow > 2.2 {
+		t.Errorf("per-hop at 1300ns PCIe = %.2f us, want ~1.5", slow)
+	}
+	// CXL-class latency shrinks the hop cost several-fold (footnote 7).
+	if fast > slow/3 {
+		t.Errorf("per-hop at 80ns = %.2f us, not much below %.2f", fast, slow)
+	}
+}
+
+func TestAblationMTU(t *testing.T) {
+	fig, err := AblationMTU(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := lookup(t, fig, "StRoM: Write", "256B")
+	big := lookup(t, fig, "StRoM: Write", "1408B")
+	if big <= small {
+		t.Errorf("goodput not increasing with MTU: %.2f vs %.2f", small, big)
+	}
+	if big < 9.0 {
+		t.Errorf("full-MTU goodput = %.2f", big)
+	}
+	// Small MTU pays proportionally more header overhead.
+	if small > 8.2 {
+		t.Errorf("256B-MTU goodput = %.2f, too close to line rate", small)
+	}
+}
+
+func TestAblationLoss(t *testing.T) {
+	fig, err := AblationLoss(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := lookup(t, fig, "StRoM: Write", "0")
+	lossy := lookup(t, fig, "StRoM: Write", "0.01")
+	if clean < 9.0 {
+		t.Errorf("lossless goodput = %.2f", clean)
+	}
+	if lossy >= clean {
+		t.Errorf("1%% loss goodput %.2f not below lossless %.2f", lossy, clean)
+	}
+	// Go-back-N makes even 1% loss expensive (the PFC argument).
+	if lossy > 0.9*clean {
+		t.Errorf("1%% loss only cost %.0f%%", 100*(1-lossy/clean))
+	}
+}
+
+func TestAblationGetOps(t *testing.T) {
+	fig, err := AblationGetOps(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, clients := range []string{"1", "8"} {
+		read := lookup(t, fig, "RDMA READ x2", clients)
+		strom := lookup(t, fig, "StRoM traversal", clients)
+		if strom <= read {
+			t.Errorf("%s clients: StRoM %.2f not above READ %.2f Mops", clients, strom, read)
+		}
+		// One round trip saved: roughly 1.2-1.6x in a closed loop.
+		if strom/read < 1.1 || strom/read > 2 {
+			t.Errorf("%s clients: speedup = %.2f", clients, strom/read)
+		}
+	}
+	// Closed-loop clients scale near-linearly at these rates.
+	if s1, s8 := lookup(t, fig, "StRoM traversal", "1"), lookup(t, fig, "StRoM traversal", "8"); s8 < 6*s1 {
+		t.Errorf("scaling 1->8 clients: %.2f -> %.2f", s1, s8)
+	}
+}
+
+func TestAblationReadDepth(t *testing.T) {
+	fig, err := AblationReadDepth(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := lookup(t, fig, "StRoM: Read", "1")
+	d16 := lookup(t, fig, "StRoM: Read", "16")
+	if d16 <= d1 {
+		t.Errorf("depth 16 (%.2f) not above depth 1 (%.2f)", d16, d1)
+	}
+	if d16 < 8.5 {
+		t.Errorf("deep-queue read throughput = %.2f", d16)
+	}
+}

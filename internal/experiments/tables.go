@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"strom/internal/fpga"
+	"strom/internal/kernels/consistency"
+	"strom/internal/kernels/filter"
+	"strom/internal/kernels/get"
+	"strom/internal/kernels/hllkernel"
+	"strom/internal/kernels/shuffle"
+	"strom/internal/kernels/traversal"
+	"strom/internal/packet"
+	"strom/internal/stats"
+)
+
+// Table1 renders the paper's Table 1: the five new BTH op-codes.
+func Table1() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1. Reliable Extended Transport Header op-codes to support StRoM kernels.\n")
+	fmt.Fprintf(&b, "%-10s %-8s %-6s %s\n", "verb", "op-code", "value", "description")
+	for _, r := range packet.Table1() {
+		fmt.Fprintf(&b, "%-10s %-8s %#02x   %s\n", r.Verb, r.Bits, uint8(r.Code), r.Description)
+	}
+	fmt.Fprintf(&b, "%-10s %-8s        reserved\n", "RPC WRITE", "11101-11111")
+	return b.String()
+}
+
+// Table2 renders the paper's Table 2: the traversal kernel's parameters.
+func Table2() string {
+	rows := []struct{ name, desc string }{
+		{"remoteAddress", "The address of the initial element in the remote data structure."},
+		{"valueSize", "The size of the final value to be read."},
+		{"key", "The lookup key."},
+		{"keyMask", "Marks where the key(s) are located in the data structure element."},
+		{"predicateOpCode", "EQUAL, LESS_THAN, GREATER_THAN or NOT_EQUAL."},
+		{"valuePtrPosition", "Position of the value pointer, absolute or relative to the matched key."},
+		{"isRelativePosition", "Whether valuePtrPosition is relative to the key or absolute."},
+		{"nextElementPtrPos.", "Position of the pointer to the next element (followed on no match)."},
+		{"nextElementPtrValid", "Whether the element contains a next pointer at all."},
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2. Parameters of the StRoM traversal kernel.\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %s\n", r.name, r.desc)
+	}
+	return b.String()
+}
+
+// Table3 renders the paper's Table 3 from the resource model.
+func Table3() string { return fpga.Table3() }
+
+// ResourceReport renders the §6.1 discussion: base NIC usage on both
+// devices, the QP scaling, and the deployed kernels' footprints.
+func ResourceReport() string {
+	var b strings.Builder
+	b.WriteString(Table3())
+	b.WriteString("\n§6.1 — Virtex-7 XC7VX690T (10 G prototype):\n")
+	v7 := fpga.Virtex7_690T()
+	for _, qps := range []int{500, 16000} {
+		r := fpga.NICUsage(fpga.NICParams{DataPathBytes: 8, NumQPs: qps})
+		lut, ff, bram := v7.Percent(r)
+		fmt.Fprintf(&b, "  %5d QPs: logic %5.1f%%  on-chip mem %5.1f%%  registers %5.1f%%\n", qps, lut, bram, ff)
+	}
+	b.WriteString("\nModule breakdown (10 G, 500 QPs):\n")
+	for _, m := range fpga.Breakdown(fpga.NICParams{DataPathBytes: 8, NumQPs: 500}) {
+		fmt.Fprintf(&b, "  %-40s %7d LUTs %7d FFs %5d BRAMs\n", m.Name, m.Usage.LUTs, m.Usage.FFs, m.Usage.BRAMs)
+	}
+	b.WriteString("\nStRoM kernel footprints (deployable side by side):\n")
+	kernels := []struct {
+		name string
+		res  fpga.Resources
+	}{
+		{"traversal", traversal.New(0).Resources()},
+		{"get (Listing 2-4)", get.New().Resources()},
+		{"consistency (CRC64)", consistency.New(0).Resources()},
+		{"shuffle (1024 partitions)", shuffle.New().Resources()},
+		{"shuffle-send (footnote 9)", shuffle.NewSend().Resources()},
+		{"hll (2^14 registers)", hllkernel.MustNew(0).Resources()},
+		{"filter/aggregate", filter.New().Resources()},
+	}
+	dev := fpga.XCVU9P()
+	base := fpga.NICUsage(fpga.NICParams{DataPathBytes: 64, NumQPs: 500})
+	total := base
+	for _, k := range kernels {
+		fmt.Fprintf(&b, "  %-28s %7d LUTs %7d FFs %5d BRAMs\n", k.name, k.res.LUTs, k.res.FFs, k.res.BRAMs)
+		total = total.Add(k.res)
+	}
+	lut, ff, bram := dev.Percent(total)
+	fmt.Fprintf(&b, "  NIC + all seven kernels on %s: %.1f%% logic, %.1f%% BRAM, %.1f%% registers (fits: %v)\n",
+		dev.Name, lut, bram, ff, dev.Fits(total))
+	return b.String()
+}
+
+// Generator names one runnable experiment.
+type Generator struct {
+	Name string
+	Run  func(Options) (*stats.Figure, error)
+}
+
+// Figures lists every figure generator in paper order.
+func Figures() []Generator {
+	return []Generator{
+		{"fig5a", Fig5aLatency10G},
+		{"fig5b", Fig5bThroughput10G},
+		{"fig5c", Fig5cMessageRate10G},
+		{"fig7", Fig7LinkedList},
+		{"fig8", Fig8HashTable},
+		{"fig9", Fig9Consistency},
+		{"fig10", Fig10FailureRate},
+		{"fig11", Fig11Shuffle},
+		{"fig12a", Fig12aLatency100G},
+		{"fig12b", Fig12bThroughput100G},
+		{"fig12c", Fig12cMessageRate100G},
+		{"fig13a", Fig13aHLLCPU},
+		{"fig13b", Fig13bHLLStRoM},
+	}
+}
+
+// RunAll regenerates every table, figure and ablation, writing text to w.
+func RunAll(o Options, w io.Writer) error {
+	fmt.Fprintln(w, Table1())
+	fmt.Fprintln(w, Table2())
+	fmt.Fprintln(w, ResourceReport())
+	for _, g := range append(Figures(), Ablations()...) {
+		fig, err := g.Run(o)
+		if err != nil {
+			return fmt.Errorf("%s: %w", g.Name, err)
+		}
+		fmt.Fprintln(w, fig.String())
+	}
+	return nil
+}

@@ -1,0 +1,276 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"strom/internal/kernels/traversal"
+	"strom/internal/kvstore"
+	"strom/internal/sim"
+	"strom/internal/stats"
+	"strom/internal/tcprpc"
+	"strom/internal/testrig"
+)
+
+const traversalOp = 0x01
+
+// fig7Lengths is Fig. 7's x axis.
+var fig7Lengths = []int{4, 8, 16, 32}
+
+// Fig7LinkedList reproduces Fig. 7: latency of looking a random key up in
+// a remote linked list (64 B values) with three approaches — one-sided
+// RDMA READ pointer chasing from the client, the StRoM traversal kernel,
+// and a TCP-based RPC executed by the remote CPU.
+func Fig7LinkedList(o Options) (*stats.Figure, error) {
+	o = o.normalized()
+	fig := stats.NewFigure("Fig 7: remote linked-list traversal (value 64B)",
+		"list length", "latency us (median [p1,p99])")
+	sRead := fig.NewSeries("RDMA READ")
+	sStrom := fig.NewSeries("StRoM")
+	sTCP := fig.NewSeries("TCP-based RPC")
+	for _, n := range fig7Lengths {
+		read, strom, tcp, err := listLookupLatencies(o, n, 64)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range []struct {
+			s    *stats.Series
+			smpl *stats.Sample
+		}{{sRead, read}, {sStrom, strom}, {sTCP, tcp}} {
+			sum := row.smpl.Summarize()
+			row.s.AddBands(float64(n), fmt.Sprintf("%d", n), sum.Median, sum.P1, sum.P99)
+		}
+	}
+	return fig, nil
+}
+
+// listLookupLatencies runs the three approaches against the same list.
+func listLookupLatencies(o Options, listLen, valueSize int) (read, strom, tcp *stats.Sample, err error) {
+	pair, err := newPair(o.Seed, profile10G(), 16<<20)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	region := kvstore.NewRegion(pair.B.Memory(), pair.BufB)
+	keys := make([]uint64, listLen)
+	values := make([][]byte, listLen)
+	rng := rand.New(rand.NewSource(o.Seed + int64(listLen)))
+	for i := range keys {
+		keys[i] = uint64(i + 1)
+		values[i] = make([]byte, valueSize)
+		rng.Read(values[i])
+	}
+	list, err := kvstore.BuildList(region, keys, values)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	kern := traversal.New(0)
+	if err := pair.B.DeployKernel(traversalOp, kern); err != nil {
+		return nil, nil, nil, err
+	}
+	// TCP RPC server: the remote CPU walks the same list in its memory,
+	// charged 80 ns per element visited.
+	host := pair.B.Host()
+	srv := tcprpc.NewServer(pair.Eng, tcprpc.Default(), func(req []byte) ([]byte, sim.Duration) {
+		key := binary.LittleEndian.Uint64(req)
+		val, ok := list.Get(key)
+		hops := int(key) // key i sits at position i (1-based)
+		if !ok {
+			hops = listLen
+		}
+		return val, sim.Duration(hops) * host.MemLatency
+	})
+	read, strom, tcp = &stats.Sample{}, &stats.Sample{}, &stats.Sample{}
+	var runErr error
+	pair.Eng.Go("client", func(p *sim.Process) {
+		for i := 0; i < o.Iterations; i++ {
+			key := keys[rng.Intn(len(keys))]
+
+			// 1) Conventional RDMA READ: one network round trip per
+			// element plus one for the value (Pilaf/FaRM style).
+			start := p.Now()
+			got, err := clientSideListLookup(p, pair, list, key, valueSize)
+			if err != nil {
+				runErr = err
+				return
+			}
+			if got == nil {
+				runErr = fmt.Errorf("RDMA READ lookup lost key %d", key)
+				return
+			}
+			read.Add(p.Now().Sub(start).Microseconds())
+
+			// 2) StRoM traversal kernel: one round trip total.
+			start = p.Now()
+			if _, err := traversal.Lookup(p, pair.A, testrig.QPA, traversalOp, list.TraversalParams(key, pair.BufA.Base())); err != nil {
+				runErr = err
+				return
+			}
+			strom.Add(p.Now().Sub(start).Microseconds())
+
+			// 3) TCP RPC.
+			start = p.Now()
+			req := make([]byte, 8)
+			binary.LittleEndian.PutUint64(req, key)
+			srv.Call(p, req)
+			tcp.Add(p.Now().Sub(start).Microseconds())
+		}
+	})
+	pair.Eng.Run()
+	if runErr != nil {
+		return nil, nil, nil, runErr
+	}
+	return read, strom, tcp, nil
+}
+
+// clientSideListLookup chases pointers with one-sided READs: element by
+// element over the network, then the value.
+func clientSideListLookup(p *sim.Process, pair *testrig.Pair, list *kvstore.List, key uint64, valueSize int) ([]byte, error) {
+	scratch := pair.BufA.Base() + 4<<20
+	addr := uint64(list.Head)
+	host := pair.A.Host()
+	for addr != 0 {
+		if err := pair.A.ReadSync(p, testrig.QPA, addr, uint64(scratch), traversal.ElementSize); err != nil {
+			return nil, err
+		}
+		elem, err := pair.A.Memory().ReadVirt(scratch, traversal.ElementSize)
+		if err != nil {
+			return nil, err
+		}
+		p.Sleep(host.MemLatency) // client-side parse of the element
+		if binary.LittleEndian.Uint64(elem[0:8]) == key {
+			valueVA := binary.LittleEndian.Uint64(elem[16:24])
+			if err := pair.A.ReadSync(p, testrig.QPA, valueVA, uint64(scratch), valueSize); err != nil {
+				return nil, err
+			}
+			return pair.A.Memory().ReadVirt(scratch, valueSize)
+		}
+		addr = binary.LittleEndian.Uint64(elem[8:16])
+	}
+	return nil, nil
+}
+
+// fig8ValueSizes is Fig. 8's x axis.
+var fig8ValueSizes = []int{64, 128, 256, 512, 1024, 2048, 4096}
+
+// Fig8HashTable reproduces Fig. 8: latency of a remote hash-table GET
+// (Pilaf layout, entry always matches) with the three approaches, varying
+// the value size.
+func Fig8HashTable(o Options) (*stats.Figure, error) {
+	o = o.normalized()
+	fig := stats.NewFigure("Fig 8: remote hash table lookup", "value size", "latency us (median [p1,p99])")
+	sRead := fig.NewSeries("RDMA READ")
+	sStrom := fig.NewSeries("StRoM")
+	sTCP := fig.NewSeries("TCP-based RPC")
+	for _, vs := range fig8ValueSizes {
+		read, strom, tcp, err := hashGetLatencies(o, vs)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range []struct {
+			s    *stats.Series
+			smpl *stats.Sample
+		}{{sRead, read}, {sStrom, strom}, {sTCP, tcp}} {
+			sum := row.smpl.Summarize()
+			row.s.AddBands(float64(vs), sizeLabel(vs), sum.Median, sum.P1, sum.P99)
+		}
+	}
+	return fig, nil
+}
+
+func hashGetLatencies(o Options, valueSize int) (read, strom, tcp *stats.Sample, err error) {
+	pair, err := newPair(o.Seed, profile10G(), 24<<20)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	region := kvstore.NewRegion(pair.B.Memory(), pair.BufB)
+	ht, err := kvstore.BuildHashTable(region, 4096)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(o.Seed + int64(valueSize)))
+	keys := make([]uint64, 0, 256)
+	for len(keys) < 256 {
+		k := rng.Uint64()
+		v := make([]byte, valueSize)
+		rng.Read(v)
+		if err := ht.Put(k, v); err != nil {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	kern := traversal.New(0)
+	if err := pair.B.DeployKernel(traversalOp, kern); err != nil {
+		return nil, nil, nil, err
+	}
+	host := pair.B.Host()
+	srv := tcprpc.NewServer(pair.Eng, tcprpc.Default(), func(req []byte) ([]byte, sim.Duration) {
+		key := binary.LittleEndian.Uint64(req)
+		val, _ := ht.Get(key)
+		return val, 2 * host.MemLatency // entry + value accesses
+	})
+	read, strom, tcp = &stats.Sample{}, &stats.Sample{}, &stats.Sample{}
+	var runErr error
+	pair.Eng.Go("client", func(p *sim.Process) {
+		scratch := pair.BufA.Base() + 8<<20
+		for i := 0; i < o.Iterations; i++ {
+			key := keys[rng.Intn(len(keys))]
+
+			// 1) Two RDMA READs: entry, then value (the best case the
+			// paper assumes).
+			start := p.Now()
+			if err := pair.A.ReadSync(p, testrig.QPA, uint64(ht.EntryAddr(key)), uint64(scratch), kvstore.HTEntrySize); err != nil {
+				runErr = err
+				return
+			}
+			entry, err := pair.A.Memory().ReadVirt(scratch, kvstore.HTEntrySize)
+			if err != nil {
+				runErr = err
+				return
+			}
+			p.Sleep(pair.A.Host().MemLatency)
+			valueVA, ok := htEntryLookup(entry, key)
+			if !ok {
+				runErr = fmt.Errorf("key %d not in its entry", key)
+				return
+			}
+			if err := pair.A.ReadSync(p, testrig.QPA, valueVA, uint64(scratch), valueSize); err != nil {
+				runErr = err
+				return
+			}
+			read.Add(p.Now().Sub(start).Microseconds())
+
+			// 2) StRoM: single round trip via the traversal kernel.
+			start = p.Now()
+			if _, err := traversal.Lookup(p, pair.A, testrig.QPA, traversalOp, ht.TraversalParams(key, valueSize, pair.BufA.Base())); err != nil {
+				runErr = err
+				return
+			}
+			strom.Add(p.Now().Sub(start).Microseconds())
+
+			// 3) TCP RPC.
+			start = p.Now()
+			req := make([]byte, 8)
+			binary.LittleEndian.PutUint64(req, key)
+			srv.Call(p, req)
+			tcp.Add(p.Now().Sub(start).Microseconds())
+		}
+	})
+	pair.Eng.Run()
+	if runErr != nil {
+		return nil, nil, nil, runErr
+	}
+	return read, strom, tcp, nil
+}
+
+// htEntryLookup finds the bucket with the key and returns its value
+// pointer.
+func htEntryLookup(entry []byte, key uint64) (uint64, bool) {
+	for b := 0; b < kvstore.HTBuckets; b++ {
+		off := b * kvstore.HTBucketStride
+		if binary.LittleEndian.Uint64(entry[off:]) == key {
+			return binary.LittleEndian.Uint64(entry[off+8:]), true
+		}
+	}
+	return 0, false
+}

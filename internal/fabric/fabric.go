@@ -1,0 +1,223 @@
+// Package fabric models the Ethernet network between StRoM NICs: links
+// with serialization and propagation delay, optional loss/corruption
+// injection for exercising the retransmission path, and a simple
+// store-and-forward switch for topologies beyond the paper's two
+// directly-connected NICs.
+package fabric
+
+import (
+	"fmt"
+
+	"strom/internal/packet"
+	"strom/internal/sim"
+)
+
+// Endpoint receives frames from the fabric.
+type Endpoint interface {
+	// DeliverFrame hands an encoded Ethernet frame to the endpoint at the
+	// simulated time it fully arrives.
+	DeliverFrame(frame []byte)
+}
+
+// EndpointFunc adapts a function to the Endpoint interface.
+type EndpointFunc func(frame []byte)
+
+// DeliverFrame calls f.
+func (f EndpointFunc) DeliverFrame(frame []byte) { f(frame) }
+
+// Impairment injects faults into a link direction.
+type Impairment struct {
+	DropProb    float64 // probability a frame is silently dropped
+	CorruptProb float64 // probability one bit of the frame is flipped
+}
+
+// Stats counts per-direction link activity.
+type Stats struct {
+	Frames    uint64
+	Bytes     uint64 // wire bytes including framing overhead
+	Dropped   uint64
+	Corrupted uint64
+}
+
+// direction is one side of a full-duplex link.
+type direction struct {
+	eng    *sim.Engine
+	wire   *sim.Serializer
+	gbps   float64
+	prop   sim.Duration
+	imp    Impairment
+	dst    Endpoint
+	stats  Stats
+	tracer *sim.Tracer
+}
+
+func (d *direction) send(frame []byte) {
+	d.stats.Frames++
+	wireBytes := len(frame) + packet.EthFramingOverhead
+	d.stats.Bytes += uint64(wireBytes)
+	end := d.wire.Reserve(sim.BytesAt(wireBytes, d.gbps))
+	if d.imp.DropProb > 0 && d.eng.Rand().Float64() < d.imp.DropProb {
+		d.stats.Dropped++
+		d.tracer.Logf("fabric: dropped frame (%d bytes)", len(frame))
+		return
+	}
+	buf := append([]byte(nil), frame...)
+	if d.imp.CorruptProb > 0 && d.eng.Rand().Float64() < d.imp.CorruptProb {
+		d.stats.Corrupted++
+		pos := d.eng.Rand().Intn(len(buf))
+		buf[pos] ^= 1 << d.eng.Rand().Intn(8)
+		d.tracer.Logf("fabric: corrupted frame at byte %d", pos)
+	}
+	d.eng.ScheduleAt(end.Add(d.prop), func() { d.dst.DeliverFrame(buf) })
+}
+
+// Link is a full-duplex point-to-point Ethernet cable. The paper's
+// testbed directly connects two StRoM NICs "to remove the potential noise
+// introduced by a switch" (§6.1).
+type Link struct {
+	a, b *direction
+}
+
+// LinkConfig describes a cable.
+type LinkConfig struct {
+	BandwidthGbps float64
+	Propagation   sim.Duration
+}
+
+// DirectCable10G returns the 10 G direct-attach configuration.
+func DirectCable10G() LinkConfig {
+	return LinkConfig{BandwidthGbps: 10, Propagation: 150 * sim.Nanosecond}
+}
+
+// DirectCable100G returns the 100 G direct-attach configuration.
+func DirectCable100G() LinkConfig {
+	return LinkConfig{BandwidthGbps: 100, Propagation: 150 * sim.Nanosecond}
+}
+
+// NewLink wires endpoints a and b together.
+func NewLink(eng *sim.Engine, cfg LinkConfig, a, b Endpoint, tracer *sim.Tracer) *Link {
+	return &Link{
+		a: &direction{eng: eng, wire: sim.NewSerializer(eng), gbps: cfg.BandwidthGbps, prop: cfg.Propagation, dst: b, tracer: tracer},
+		b: &direction{eng: eng, wire: sim.NewSerializer(eng), gbps: cfg.BandwidthGbps, prop: cfg.Propagation, dst: a, tracer: tracer},
+	}
+}
+
+// SendFromA transmits a frame from endpoint a toward endpoint b.
+func (l *Link) SendFromA(frame []byte) { l.a.send(frame) }
+
+// SendFromB transmits a frame from endpoint b toward endpoint a.
+func (l *Link) SendFromB(frame []byte) { l.b.send(frame) }
+
+// ImpairAtoB sets fault injection on the a→b direction.
+func (l *Link) ImpairAtoB(imp Impairment) { l.a.imp = imp }
+
+// ImpairBtoA sets fault injection on the b→a direction.
+func (l *Link) ImpairBtoA(imp Impairment) { l.b.imp = imp }
+
+// StatsAtoB returns counters for the a→b direction.
+func (l *Link) StatsAtoB() Stats { return l.a.stats }
+
+// StatsBtoA returns counters for the b→a direction.
+func (l *Link) StatsBtoA() Stats { return l.b.stats }
+
+// UtilisationAtoB reports a→b wire utilisation since time zero.
+func (l *Link) UtilisationAtoB() float64 { return l.a.wire.Utilisation() }
+
+// Switch is a store-and-forward Ethernet switch that routes by
+// destination MAC. It exists for multi-node scenarios (e.g. shuffling
+// across several machines); the paper's experiments use direct links.
+//
+// Egress ports can be configured with a finite queue. With Priority Flow
+// Control (the lossless mode the paper's Ethernet core supports for
+// Converged Ethernet, §4.1) queues never overflow; without it, incast —
+// several senders converging on one port — tail-drops frames and leaves
+// recovery to the RoCE retransmission path.
+type Switch struct {
+	eng      *sim.Engine
+	cfg      LinkConfig
+	latency  sim.Duration
+	ports    map[packet.MAC]*egressPort
+	tracer   *sim.Tracer
+	queueCap int // frames per egress queue; 0 = lossless (PFC)
+}
+
+// egressPort is one output port with its (possibly bounded) queue.
+type egressPort struct {
+	dir     *direction
+	queued  int
+	dropped uint64
+}
+
+// NewSwitch creates a switch whose ports all run at cfg's bandwidth and
+// that adds latency of forwarding delay per frame.
+func NewSwitch(eng *sim.Engine, cfg LinkConfig, forwarding sim.Duration, tracer *sim.Tracer) *Switch {
+	return &Switch{
+		eng:     eng,
+		cfg:     cfg,
+		latency: forwarding,
+		ports:   make(map[packet.MAC]*egressPort),
+		tracer:  tracer,
+	}
+}
+
+// SetEgressQueue bounds every egress queue to capFrames; zero restores
+// lossless (PFC) behaviour. Applies to frames forwarded afterwards.
+func (s *Switch) SetEgressQueue(capFrames int) { s.queueCap = capFrames }
+
+// Dropped reports frames tail-dropped at the egress toward mac.
+func (s *Switch) Dropped(mac packet.MAC) uint64 {
+	if p, ok := s.ports[mac]; ok {
+		return p.dropped
+	}
+	return 0
+}
+
+// AttachPort connects an endpoint with the given MAC to the switch and
+// returns the transmit function the endpoint uses.
+func (s *Switch) AttachPort(mac packet.MAC, ep Endpoint) func(frame []byte) {
+	// Egress direction toward this endpoint.
+	s.ports[mac] = &egressPort{dir: &direction{
+		eng: s.eng, wire: sim.NewSerializer(s.eng),
+		gbps: s.cfg.BandwidthGbps, prop: s.cfg.Propagation, dst: ep, tracer: s.tracer,
+	}}
+	ingress := sim.NewSerializer(s.eng)
+	return func(frame []byte) {
+		end := ingress.Reserve(sim.BytesAt(len(frame)+packet.EthFramingOverhead, s.cfg.BandwidthGbps))
+		buf := append([]byte(nil), frame...)
+		s.eng.ScheduleAt(end.Add(s.cfg.Propagation+s.latency), func() { s.forward(buf) })
+	}
+}
+
+// forward routes a frame to its destination port, tail-dropping when the
+// egress queue is bounded and full.
+func (s *Switch) forward(frame []byte) {
+	if len(frame) < 6 {
+		return
+	}
+	var dst packet.MAC
+	copy(dst[:], frame[0:6])
+	port, ok := s.ports[dst]
+	if !ok {
+		s.tracer.Logf("switch: no port for %v, dropping", dst)
+		return
+	}
+	if s.queueCap > 0 && port.queued >= s.queueCap {
+		port.dropped++
+		s.tracer.Logf("switch: egress %v full (%d frames), tail drop", dst, port.queued)
+		return
+	}
+	port.queued++
+	wireTime := sim.BytesAt(len(frame)+packet.EthFramingOverhead, s.cfg.BandwidthGbps)
+	drainAt := port.dir.wire.NextFree()
+	if now := s.eng.Now(); drainAt < now {
+		drainAt = now
+	}
+	// The slot leaves the queue when its wire transmission begins.
+	s.eng.ScheduleAt(drainAt.Add(wireTime), func() { port.queued-- })
+	port.dir.send(frame)
+}
+
+// String describes the switch.
+func (s *Switch) String() string {
+	return fmt.Sprintf("switch(%d ports, %.0f Gbit/s)", len(s.ports), s.cfg.BandwidthGbps)
+}

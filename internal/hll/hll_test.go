@@ -1,0 +1,282 @@
+package hll
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(3); err == nil {
+		t.Error("p=3 accepted")
+	}
+	if _, err := New(17); err == nil {
+		t.Error("p=17 accepted")
+	}
+	s, err := New(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Registers() != 1024 || s.Precision() != 10 {
+		t.Errorf("m=%d p=%d", s.Registers(), s.Precision())
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MustNew(0)
+}
+
+func TestHash64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	rng := rand.New(rand.NewSource(1))
+	total, n := 0, 0
+	for i := 0; i < 200; i++ {
+		x := rng.Uint64()
+		h := Hash64(x)
+		bit := uint(rng.Intn(64))
+		h2 := Hash64(x ^ (1 << bit))
+		diff := h ^ h2
+		cnt := 0
+		for diff != 0 {
+			cnt++
+			diff &= diff - 1
+		}
+		total += cnt
+		n++
+	}
+	avg := float64(total) / float64(n)
+	if avg < 24 || avg > 40 {
+		t.Errorf("avalanche average %v bits, want ~32", avg)
+	}
+}
+
+func TestHashBytesDistinguishesLengths(t *testing.T) {
+	a := HashBytes([]byte{0})
+	b := HashBytes([]byte{0, 0})
+	c := HashBytes(nil)
+	if a == b || a == c || b == c {
+		t.Errorf("length-only differences collide: %x %x %x", a, b, c)
+	}
+}
+
+func TestHashBytesMatchesChunking(t *testing.T) {
+	// Same bytes must hash identically regardless of how callers slice
+	// them beforehand (HashBytes is not streaming; this guards against
+	// accidental state bleed in the implementation).
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	h1 := HashBytes(data)
+	h2 := HashBytes(append([]byte(nil), data...))
+	if h1 != h2 {
+		t.Error("HashBytes not deterministic")
+	}
+}
+
+func TestEstimateAccuracy(t *testing.T) {
+	for _, p := range []int{8, 12, 14} {
+		for _, n := range []int{100, 10_000, 1_000_000} {
+			s := MustNew(p)
+			rng := rand.New(rand.NewSource(int64(p*31 + n)))
+			seen := make(map[uint64]bool, n)
+			for len(seen) < n {
+				v := rng.Uint64()
+				if !seen[v] {
+					seen[v] = true
+					s.Add(v)
+				}
+			}
+			est := s.Estimate()
+			relErr := math.Abs(est-float64(n)) / float64(n)
+			// Allow 5 standard errors.
+			bound := 5 * s.RelativeErrorBound()
+			if relErr > bound {
+				t.Errorf("p=%d n=%d: estimate %.0f, rel err %.4f > %.4f", p, n, est, relErr, bound)
+			}
+		}
+	}
+}
+
+func TestEstimateDuplicatesDoNotInflate(t *testing.T) {
+	s := MustNew(12)
+	for i := 0; i < 1000; i++ {
+		s.Add(uint64(i % 10))
+	}
+	est := s.Estimate()
+	if est < 5 || est > 20 {
+		t.Errorf("estimate of 10 distinct = %v", est)
+	}
+}
+
+func TestSmallRangeLinearCounting(t *testing.T) {
+	s := MustNew(12)
+	s.Add(1)
+	s.Add(2)
+	s.Add(3)
+	est := s.Estimate()
+	if math.Abs(est-3) > 0.5 {
+		t.Errorf("estimate of 3 = %v", est)
+	}
+}
+
+func TestEmptySketch(t *testing.T) {
+	s := MustNew(10)
+	if got := s.Estimate(); got != 0 {
+		t.Errorf("empty estimate = %v", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := MustNew(12), MustNew(12)
+	rng := rand.New(rand.NewSource(5))
+	union := make(map[uint64]bool)
+	for i := 0; i < 50_000; i++ {
+		v := rng.Uint64()
+		a.Add(v)
+		union[v] = true
+	}
+	for i := 0; i < 50_000; i++ {
+		v := rng.Uint64()
+		b.Add(v)
+		union[v] = true
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	est := a.Estimate()
+	n := float64(len(union))
+	if math.Abs(est-n)/n > 5*a.RelativeErrorBound() {
+		t.Errorf("merged estimate %v, want ~%v", est, n)
+	}
+}
+
+func TestMergeIdempotent(t *testing.T) {
+	a := MustNew(10)
+	for i := uint64(0); i < 1000; i++ {
+		a.Add(i)
+	}
+	before := a.Estimate()
+	clone := a.Clone()
+	if err := a.Merge(clone); err != nil {
+		t.Fatal(err)
+	}
+	if a.Estimate() != before {
+		t.Error("merging a sketch with itself changed the estimate")
+	}
+}
+
+func TestMergePrecisionMismatch(t *testing.T) {
+	a, b := MustNew(10), MustNew(12)
+	if err := a.Merge(b); err == nil {
+		t.Error("mismatched merge accepted")
+	}
+	if err := a.Merge(nil); err == nil {
+		t.Error("nil merge accepted")
+	}
+}
+
+func TestMergeCommutative(t *testing.T) {
+	f := func(xs, ys []uint64) bool {
+		a1, b1 := MustNew(8), MustNew(8)
+		a2, b2 := MustNew(8), MustNew(8)
+		for _, x := range xs {
+			a1.Add(x)
+			a2.Add(x)
+		}
+		for _, y := range ys {
+			b1.Add(y)
+			b2.Add(y)
+		}
+		if err := a1.Merge(b1); err != nil {
+			return false
+		}
+		if err := b2.Merge(a2); err != nil {
+			return false
+		}
+		return a1.Estimate() == b2.Estimate()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResetAndClone(t *testing.T) {
+	s := MustNew(10)
+	for i := uint64(0); i < 100; i++ {
+		s.Add(i)
+	}
+	c := s.Clone()
+	s.Reset()
+	if s.Estimate() != 0 {
+		t.Error("reset sketch not empty")
+	}
+	if c.Estimate() == 0 {
+		t.Error("clone shares storage with original")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	s := MustNew(12)
+	for i := uint64(0); i < 5000; i++ {
+		s.Add(i * 2654435761)
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Sketch
+	if err := r.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if r.Estimate() != s.Estimate() {
+		t.Errorf("round trip estimate %v != %v", r.Estimate(), s.Estimate())
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	var s Sketch
+	if err := s.UnmarshalBinary(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if err := s.UnmarshalBinary([]byte{3}); err == nil {
+		t.Error("bad precision accepted")
+	}
+	if err := s.UnmarshalBinary([]byte{10, 0, 0}); err == nil {
+		t.Error("short register file accepted")
+	}
+}
+
+func TestAddBytesEstimate(t *testing.T) {
+	s := MustNew(12)
+	for i := 0; i < 20000; i++ {
+		s.AddBytes([]byte{byte(i), byte(i >> 8), 0xAB})
+	}
+	est := s.Estimate()
+	relErr := math.Abs(est-20000) / 20000
+	if relErr > 5*s.RelativeErrorBound() {
+		t.Errorf("byte-item estimate %v", est)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	s := MustNew(14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(uint64(i))
+	}
+}
+
+func BenchmarkEstimate(b *testing.B) {
+	s := MustNew(14)
+	for i := uint64(0); i < 100000; i++ {
+		s.Add(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Estimate()
+	}
+}

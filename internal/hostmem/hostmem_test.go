@@ -1,0 +1,228 @@
+package hostmem
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocateBasics(t *testing.T) {
+	m := New(16)
+	b, err := m.Allocate(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Size() != 100 {
+		t.Errorf("size = %d", b.Size())
+	}
+	if b.Base() == 0 {
+		t.Error("VA 0 handed out")
+	}
+	if b.Base().PageOffset() != 0 {
+		t.Error("buffer not page aligned")
+	}
+	if m.MappedPages() != 1 {
+		t.Errorf("mapped = %d", m.MappedPages())
+	}
+}
+
+func TestAllocateRejectsBadSizes(t *testing.T) {
+	m := New(4)
+	if _, err := m.Allocate(0); err == nil {
+		t.Error("size 0 accepted")
+	}
+	if _, err := m.Allocate(-5); err == nil {
+		t.Error("negative size accepted")
+	}
+}
+
+func TestAllocateExhaustion(t *testing.T) {
+	m := New(2)
+	if _, err := m.Allocate(2 * HugePageSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Allocate(1); err != ErrExhausted {
+		t.Errorf("err = %v, want ErrExhausted", err)
+	}
+}
+
+func TestVirtReadWriteRoundTrip(t *testing.T) {
+	m := New(16)
+	b, err := m.Allocate(3 * HugePageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 5000)
+	rand.New(rand.NewSource(1)).Read(data)
+	// Straddle a page boundary deliberately.
+	va := b.Base() + Addr(HugePageSize-2500)
+	if err := m.WriteVirt(va, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadVirt(va, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("round trip mismatch across page boundary")
+	}
+}
+
+func TestPhysicalPagesScattered(t *testing.T) {
+	m := New(16)
+	b, err := m.Allocate(4 * HugePageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pas, err := b.PhysicalPages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pas) != 4 {
+		t.Fatalf("%d pages", len(pas))
+	}
+	contiguous := true
+	for i := 1; i < len(pas); i++ {
+		if pas[i] != pas[i-1]+HugePageSize {
+			contiguous = false
+		}
+	}
+	if contiguous {
+		t.Error("physical pages are contiguous; the TLB split path would never run")
+	}
+}
+
+func TestTranslateConsistency(t *testing.T) {
+	m := New(16)
+	b, _ := m.Allocate(2 * HugePageSize)
+	va := b.Base() + 12345
+	pa, err := m.Translate(va)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.PageOffset() != va.PageOffset() {
+		t.Error("translation changed page offset")
+	}
+	if _, err := m.Translate(0); err != ErrNotMapped {
+		t.Errorf("null translate err = %v", err)
+	}
+}
+
+func TestVirtPhysAgree(t *testing.T) {
+	m := New(16)
+	b, _ := m.Allocate(HugePageSize)
+	va := b.Base() + 100
+	want := []byte("strom payload")
+	if err := m.WriteVirt(va, want); err != nil {
+		t.Fatal(err)
+	}
+	pa, _ := m.Translate(va)
+	got, err := m.ReadPhys(pa, len(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("virtual write invisible through physical read")
+	}
+}
+
+func TestPhysAccessCrossingPages(t *testing.T) {
+	// Physical access that runs past the end of a page must continue into
+	// the *physically* next page; with scattered allocation that page
+	// generally belongs to nobody, so the access must fail. This is the
+	// bug the TLB's split logic exists to prevent.
+	m := New(16)
+	b, _ := m.Allocate(2 * HugePageSize)
+	pas, _ := b.PhysicalPages()
+	pa := pas[0] + Addr(HugePageSize-10)
+	if err := m.WritePhys(pa, make([]byte, 20)); err == nil {
+		t.Error("cross-physical-page access unexpectedly mapped")
+	}
+}
+
+func TestFree(t *testing.T) {
+	m := New(4)
+	b, _ := m.Allocate(HugePageSize)
+	if err := b.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Free(); err != ErrDoubleFree {
+		t.Errorf("double free err = %v", err)
+	}
+	if _, err := m.ReadVirt(b.Base(), 10); err == nil {
+		t.Error("read after free succeeded")
+	}
+	// The pages are reusable.
+	if _, err := m.Allocate(4 * HugePageSize); err != nil {
+		t.Errorf("allocate after free: %v", err)
+	}
+}
+
+func TestContains(t *testing.T) {
+	m := New(4)
+	b, _ := m.Allocate(1000)
+	if !b.Contains(b.Base(), 1000) {
+		t.Error("full range not contained")
+	}
+	if b.Contains(b.Base(), 1001) {
+		t.Error("overflow contained")
+	}
+	if b.Contains(b.Base()-1, 1) {
+		t.Error("below base contained")
+	}
+}
+
+func TestAllocationsDoNotAlias(t *testing.T) {
+	m := New(32)
+	a, _ := m.Allocate(HugePageSize)
+	b, _ := m.Allocate(HugePageSize)
+	if err := m.WriteVirt(a.Base(), bytes.Repeat([]byte{0xAA}, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteVirt(b.Base(), bytes.Repeat([]byte{0xBB}, 64)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.ReadVirt(a.Base(), 64)
+	for _, x := range got {
+		if x != 0xAA {
+			t.Fatal("buffers alias")
+		}
+	}
+}
+
+func TestReadWriteProperty(t *testing.T) {
+	m := New(64)
+	b, err := m.Allocate(8 * HugePageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(off uint32, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		o := int(off) % (b.Size() - len(data))
+		if o < 0 {
+			return true
+		}
+		va := b.Base() + Addr(o)
+		if err := m.WriteVirt(va, data); err != nil {
+			return false
+		}
+		got, err := m.ReadVirt(va, len(data))
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddrHelpers(t *testing.T) {
+	a := Addr(3*HugePageSize + 17)
+	if a.PageNumber() != 3 {
+		t.Errorf("page = %d", a.PageNumber())
+	}
+	if a.PageOffset() != 17 {
+		t.Errorf("offset = %d", a.PageOffset())
+	}
+}

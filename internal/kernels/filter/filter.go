@@ -1,0 +1,305 @@
+// Package filter implements a StRoM stream kernel for the in-network
+// filtering and aggregation use case of §1 ("kernels can be used to
+// perform ... filtering or aggregation over RDMA data streams", citing
+// Ibex [55] and the histograms-as-a-side-effect work [20]): incoming 8 B
+// tuples are compared against a constant; passing tuples are written
+// densely to host memory while running aggregates (count, sum, min, max)
+// and a radix histogram accumulate on-chip. Like every StRoM stream
+// kernel it runs at line rate (II = 1) as a bump in the wire.
+package filter
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"strom/internal/core"
+	"strom/internal/fpga"
+)
+
+// Predicate is the filter comparison (tuple <op> operand).
+type Predicate uint8
+
+// Predicates.
+const (
+	All Predicate = iota // pass everything (pure aggregation/histogram)
+	Equal
+	NotEqual
+	LessThan
+	GreaterThan
+)
+
+// Eval applies the predicate.
+func (p Predicate) Eval(v, operand uint64) bool {
+	switch p {
+	case All:
+		return true
+	case Equal:
+		return v == operand
+	case NotEqual:
+		return v != operand
+	case LessThan:
+		return v < operand
+	case GreaterThan:
+		return v > operand
+	}
+	return false
+}
+
+// String returns the predicate mnemonic.
+func (p Predicate) String() string {
+	switch p {
+	case All:
+		return "ALL"
+	case Equal:
+		return "EQUAL"
+	case NotEqual:
+		return "NOT_EQUAL"
+	case LessThan:
+		return "LESS_THAN"
+	case GreaterThan:
+		return "GREATER_THAN"
+	}
+	return fmt.Sprintf("PREDICATE(%d)", uint8(p))
+}
+
+// HistogramBuckets is the on-chip histogram size: tuples are bucketed by
+// their top log2(HistogramBuckets) bits.
+const HistogramBuckets = 64
+
+// TupleSize is the fixed tuple width.
+const TupleSize = 8
+
+// outBuffer is the dense-output staging buffer (one MTU payload).
+const outBuffer = 1408
+
+// Params configures a filter session.
+type Params struct {
+	// DataAddress receives the densely packed passing tuples (0 disables
+	// materialisation: aggregates and histogram only).
+	DataAddress uint64
+	// ResultAddress receives the Result block when the stream ends.
+	ResultAddress uint64
+	// PredicateOp and Operand define the filter.
+	PredicateOp Predicate
+	Operand     uint64
+	// TotalTuples lets a session span several messages (0: single
+	// message).
+	TotalTuples uint64
+}
+
+// Encode serializes the parameter block.
+func (p Params) Encode() []byte {
+	out := make([]byte, 33)
+	binary.LittleEndian.PutUint64(out[0:8], p.DataAddress)
+	binary.LittleEndian.PutUint64(out[8:16], p.ResultAddress)
+	out[16] = uint8(p.PredicateOp)
+	binary.LittleEndian.PutUint64(out[17:25], p.Operand)
+	binary.LittleEndian.PutUint64(out[25:33], p.TotalTuples)
+	return out
+}
+
+// DecodeParams parses a parameter block.
+func DecodeParams(data []byte) (Params, error) {
+	if len(data) < 33 {
+		return Params{}, errors.New("filter: short parameter block")
+	}
+	return Params{
+		DataAddress:   binary.LittleEndian.Uint64(data[0:8]),
+		ResultAddress: binary.LittleEndian.Uint64(data[8:16]),
+		PredicateOp:   Predicate(data[16]),
+		Operand:       binary.LittleEndian.Uint64(data[17:25]),
+		TotalTuples:   binary.LittleEndian.Uint64(data[25:33]),
+	}, nil
+}
+
+// Result is the aggregate block the kernel writes to ResultAddress.
+type Result struct {
+	Total     uint64 // tuples seen
+	Passed    uint64 // tuples matching the predicate
+	Sum       uint64 // sum of passing tuples (wrapping)
+	Min       uint64 // min of passing tuples (MaxUint64 when none)
+	Max       uint64 // max of passing tuples (0 when none)
+	Histogram [HistogramBuckets]uint64
+}
+
+// ResultSize is the encoded Result length.
+const ResultSize = 5*8 + HistogramBuckets*8
+
+// Encode serializes the result block.
+func (r Result) Encode() []byte {
+	out := make([]byte, ResultSize)
+	binary.LittleEndian.PutUint64(out[0:8], r.Total)
+	binary.LittleEndian.PutUint64(out[8:16], r.Passed)
+	binary.LittleEndian.PutUint64(out[16:24], r.Sum)
+	binary.LittleEndian.PutUint64(out[24:32], r.Min)
+	binary.LittleEndian.PutUint64(out[32:40], r.Max)
+	for i, h := range r.Histogram {
+		binary.LittleEndian.PutUint64(out[40+i*8:], h)
+	}
+	return out
+}
+
+// DecodeResult parses a result block.
+func DecodeResult(data []byte) (Result, error) {
+	if len(data) < ResultSize {
+		return Result{}, errors.New("filter: short result block")
+	}
+	var r Result
+	r.Total = binary.LittleEndian.Uint64(data[0:8])
+	r.Passed = binary.LittleEndian.Uint64(data[8:16])
+	r.Sum = binary.LittleEndian.Uint64(data[16:24])
+	r.Min = binary.LittleEndian.Uint64(data[24:32])
+	r.Max = binary.LittleEndian.Uint64(data[32:40])
+	for i := range r.Histogram {
+		r.Histogram[i] = binary.LittleEndian.Uint64(data[40+i*8:])
+	}
+	return r, nil
+}
+
+// Bucket maps a tuple to its histogram bucket (top 6 bits).
+func Bucket(v uint64) int { return int(v >> 58) }
+
+// Reference computes the expected result host-side (the test oracle).
+func Reference(tuples []uint64, pred Predicate, operand uint64) Result {
+	r := Result{Min: ^uint64(0)}
+	for _, v := range tuples {
+		r.Total++
+		r.Histogram[Bucket(v)]++
+		if !pred.Eval(v, operand) {
+			continue
+		}
+		r.Passed++
+		r.Sum += v
+		if v < r.Min {
+			r.Min = v
+		}
+		if v > r.Max {
+			r.Max = v
+		}
+	}
+	return r
+}
+
+// Stats counts kernel activity.
+type Stats struct {
+	Invocations uint64
+	Tuples      uint64
+	Passed      uint64
+	Errors      uint64
+}
+
+// session is one filter run.
+type session struct {
+	params  Params
+	res     Result
+	out     []byte // dense-output staging
+	offset  uint64
+	pending int
+	ended   bool
+	done    bool
+}
+
+// Kernel is the filtering/aggregation kernel.
+type Kernel struct {
+	sess  *session
+	stats Stats
+}
+
+// New creates a filter kernel.
+func New() *Kernel { return &Kernel{} }
+
+// Name implements core.Kernel.
+func (k *Kernel) Name() string { return "filter" }
+
+// Stats returns a snapshot of the counters.
+func (k *Kernel) Stats() Stats { return k.stats }
+
+// Resources implements core.Kernel: comparator, adder tree, histogram
+// BRAM and the staging buffer.
+func (k *Kernel) Resources() fpga.Resources {
+	return fpga.Resources{LUTs: 7100, FFs: 9600, BRAMs: 10}
+}
+
+// Invoke implements core.Kernel: start a session.
+func (k *Kernel) Invoke(ctx *core.Context, qpn uint32, raw []byte) {
+	k.stats.Invocations++
+	p, err := DecodeParams(raw)
+	if err != nil {
+		k.stats.Errors++
+		ctx.Tracef("bad params: %v", err)
+		return
+	}
+	k.sess = &session{params: p, res: Result{Min: ^uint64(0)}}
+}
+
+// Stream implements core.Kernel.
+func (k *Kernel) Stream(ctx *core.Context, qpn uint32, data []byte, last bool) {
+	s := k.sess
+	if s == nil {
+		k.stats.Errors++
+		ctx.Tracef("stream before parameters")
+		return
+	}
+	for i := 0; i+TupleSize <= len(data); i += TupleSize {
+		v := binary.LittleEndian.Uint64(data[i:])
+		s.res.Total++
+		k.stats.Tuples++
+		s.res.Histogram[Bucket(v)]++
+		if !s.params.PredicateOp.Eval(v, s.params.Operand) {
+			continue
+		}
+		s.res.Passed++
+		k.stats.Passed++
+		s.res.Sum += v
+		if v < s.res.Min {
+			s.res.Min = v
+		}
+		if v > s.res.Max {
+			s.res.Max = v
+		}
+		if s.params.DataAddress != 0 {
+			s.out = append(s.out, data[i:i+TupleSize]...)
+			if len(s.out) >= outBuffer {
+				k.flush(ctx, s)
+			}
+		}
+	}
+	end := last
+	if s.params.TotalTuples > 0 {
+		end = s.res.Total >= s.params.TotalTuples
+	}
+	if end {
+		s.ended = true
+		if len(s.out) > 0 {
+			k.flush(ctx, s)
+		}
+		k.maybeFinish(ctx, s)
+	}
+}
+
+// flush writes the staged dense output to host memory.
+func (k *Kernel) flush(ctx *core.Context, s *session) {
+	buf := s.out
+	s.out = nil
+	dst := s.params.DataAddress + s.offset
+	s.offset += uint64(len(buf))
+	s.pending++
+	ctx.DMAWrite(dst, buf, func(err error) {
+		if err != nil {
+			k.stats.Errors++
+			ctx.Tracef("output flush failed: %v", err)
+		}
+		s.pending--
+		k.maybeFinish(ctx, s)
+	})
+}
+
+// maybeFinish posts the result block once everything drained.
+func (k *Kernel) maybeFinish(ctx *core.Context, s *session) {
+	if !s.ended || s.pending != 0 || s.done || s.params.ResultAddress == 0 {
+		return
+	}
+	s.done = true
+	ctx.DMAWrite(s.params.ResultAddress, s.res.Encode(), func(error) {})
+}

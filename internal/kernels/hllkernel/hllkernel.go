@@ -1,0 +1,181 @@
+// Package hllkernel implements the StRoM HyperLogLog kernel (§7.2):
+// cardinality estimation gathered as a by-product of data reception. The
+// kernel sits bump-in-the-wire on an incoming RDMA stream: payload is
+// still written to host memory as usual while the sketch is updated at
+// line rate (initiation interval 1), so Write+HLL matches plain Write
+// throughput (Fig. 13b).
+package hllkernel
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+
+	"strom/internal/core"
+	"strom/internal/fpga"
+	"strom/internal/hll"
+)
+
+// DefaultPrecision gives 2^14 registers — 16 KB of on-chip memory, well
+// within the FPGA budget, with ~0.8% standard error.
+const DefaultPrecision = 14
+
+// Params configures an HLL session.
+type Params struct {
+	// DataAddress is where the stream payload is written in host memory
+	// (0 disables storing, pure estimation).
+	DataAddress uint64
+	// ResultAddress receives the result block when the stream ends:
+	// 8 B rounded estimate, 8 B IEEE-754 estimate, 8 B item count.
+	ResultAddress uint64
+	// Reset clears the sketch at invocation.
+	Reset bool
+}
+
+// ResultSize is the result block size.
+const ResultSize = 24
+
+// Encode serializes the parameter block.
+func (p Params) Encode() []byte {
+	out := make([]byte, 17)
+	binary.LittleEndian.PutUint64(out[0:8], p.DataAddress)
+	binary.LittleEndian.PutUint64(out[8:16], p.ResultAddress)
+	if p.Reset {
+		out[16] = 1
+	}
+	return out
+}
+
+// DecodeParams parses a parameter block.
+func DecodeParams(data []byte) (Params, error) {
+	if len(data) < 17 {
+		return Params{}, errors.New("hllkernel: short parameter block")
+	}
+	return Params{
+		DataAddress:   binary.LittleEndian.Uint64(data[0:8]),
+		ResultAddress: binary.LittleEndian.Uint64(data[8:16]),
+		Reset:         data[16] != 0,
+	}, nil
+}
+
+// Stats counts kernel activity.
+type Stats struct {
+	Invocations uint64
+	Items       uint64
+	Bytes       uint64
+	Errors      uint64
+}
+
+// Kernel is the HLL kernel.
+type Kernel struct {
+	sketch  *hll.Sketch
+	params  Params
+	offset  uint64
+	items   uint64
+	pending int
+	ended   bool
+	wrote   bool
+	stats   Stats
+}
+
+// New creates an HLL kernel with 2^precision registers
+// (DefaultPrecision when 0).
+func New(precision int) (*Kernel, error) {
+	if precision == 0 {
+		precision = DefaultPrecision
+	}
+	s, err := hll.New(precision)
+	if err != nil {
+		return nil, err
+	}
+	return &Kernel{sketch: s}, nil
+}
+
+// MustNew is New for known-good precisions.
+func MustNew(precision int) *Kernel {
+	k, err := New(precision)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// Name implements core.Kernel.
+func (k *Kernel) Name() string { return "hll" }
+
+// Stats returns a snapshot of the counters.
+func (k *Kernel) Stats() Stats { return k.stats }
+
+// Estimate exposes the current sketch estimate (for local inspection).
+func (k *Kernel) Estimate() float64 { return k.sketch.Estimate() }
+
+// Resources implements core.Kernel: hash pipeline plus the register file
+// (2^14 x 6 bit fits in a handful of BRAMs).
+func (k *Kernel) Resources() fpga.Resources {
+	return fpga.Resources{LUTs: 5600, FFs: 7200, BRAMs: 8}
+}
+
+// Invoke implements core.Kernel: configure destination addresses and
+// optionally reset the sketch.
+func (k *Kernel) Invoke(ctx *core.Context, qpn uint32, raw []byte) {
+	k.stats.Invocations++
+	p, err := DecodeParams(raw)
+	if err != nil {
+		k.stats.Errors++
+		ctx.Tracef("bad params: %v", err)
+		return
+	}
+	if p.Reset {
+		k.sketch.Reset()
+		k.items = 0
+	}
+	k.params = p
+	k.offset = 0
+	k.ended = false
+	k.wrote = false
+}
+
+// Stream implements core.Kernel: update the sketch per 8 B word and pass
+// the payload through to host memory.
+func (k *Kernel) Stream(ctx *core.Context, qpn uint32, data []byte, last bool) {
+	for i := 0; i+8 <= len(data); i += 8 {
+		k.sketch.Add(binary.LittleEndian.Uint64(data[i:]))
+		k.items++
+		k.stats.Items++
+	}
+	k.stats.Bytes += uint64(len(data))
+	if last {
+		k.ended = true
+	}
+	if k.params.DataAddress != 0 && len(data) > 0 {
+		dst := k.params.DataAddress + k.offset
+		k.offset += uint64(len(data))
+		k.pending++
+		ctx.DMAWrite(dst, data, func(err error) {
+			if err != nil {
+				k.stats.Errors++
+				ctx.Tracef("data write failed: %v", err)
+			}
+			k.pending--
+			k.maybeFinish(ctx)
+		})
+	}
+	if last {
+		k.maybeFinish(ctx)
+	}
+}
+
+// maybeFinish posts the result block once the stream ended and payload
+// writes drained.
+func (k *Kernel) maybeFinish(ctx *core.Context) {
+	if !k.ended || k.pending != 0 || k.wrote || k.params.ResultAddress == 0 {
+		return
+	}
+	k.wrote = true
+	est := k.sketch.Estimate()
+	out := make([]byte, ResultSize)
+	binary.LittleEndian.PutUint64(out[0:8], uint64(est+0.5))
+	binary.LittleEndian.PutUint64(out[8:16], math.Float64bits(est))
+	binary.LittleEndian.PutUint64(out[16:24], k.items)
+	ctx.DMAWrite(k.params.ResultAddress, out, func(error) {})
+}

@@ -1,0 +1,224 @@
+package shuffle
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"strom/internal/core"
+	"strom/internal/fpga"
+)
+
+// Send-side shuffling (footnote 9 of the paper): the kernel is invoked on
+// the *local* NIC so that data is partitioned among different queue pairs
+// and correspondingly different remote machines. Shuffling before
+// transmission needs MTU-sized buffers to achieve high bandwidth, which
+// limits the partition count and costs more on-chip memory per partition
+// — exactly the trade-off the footnote describes.
+
+// SendMaxPartitions bounds send-side partitions: the same 128 KB on-chip
+// budget divided by MTU-sized buffers instead of 128 B ones.
+const SendMaxPartitions = 64
+
+// SendBufferBytes is the per-partition buffer (one MTU payload).
+const SendBufferBytes = 1408
+
+// SendDescriptorSize is one entry of the send-side partition table in
+// local host memory: destination QPN (4 B), padding, remote VA (8 B).
+const SendDescriptorSize = 16
+
+// SendParams configures a send-side shuffle session.
+type SendParams struct {
+	// TableAddress points at the partition table in *local* host memory
+	// (NumPartitions × SendDescriptorSize bytes).
+	TableAddress uint64
+	// NumPartitions must be a power of two, at most SendMaxPartitions.
+	NumPartitions uint32
+	// CompletionAddress (local) receives the tuple count when all
+	// partition writes are acknowledged.
+	CompletionAddress uint64
+	// TotalTuples ends the session after this many tuples (0: first
+	// message's last segment ends it).
+	TotalTuples uint64
+}
+
+// Encode serializes the parameter block.
+func (p SendParams) Encode() []byte {
+	out := make([]byte, 28)
+	binary.LittleEndian.PutUint64(out[0:8], p.TableAddress)
+	binary.LittleEndian.PutUint32(out[8:12], p.NumPartitions)
+	binary.LittleEndian.PutUint64(out[12:20], p.CompletionAddress)
+	binary.LittleEndian.PutUint64(out[20:28], p.TotalTuples)
+	return out
+}
+
+// DecodeSendParams parses a parameter block.
+func DecodeSendParams(data []byte) (SendParams, error) {
+	if len(data) < 28 {
+		return SendParams{}, errors.New("shuffle: short send parameter block")
+	}
+	return SendParams{
+		TableAddress:      binary.LittleEndian.Uint64(data[0:8]),
+		NumPartitions:     binary.LittleEndian.Uint32(data[8:12]),
+		CompletionAddress: binary.LittleEndian.Uint64(data[12:20]),
+		TotalTuples:       binary.LittleEndian.Uint64(data[20:28]),
+	}, nil
+}
+
+// sendDest is one partition's destination.
+type sendDest struct {
+	qpn      uint32
+	remoteVA uint64
+}
+
+// sendSession is the state of one send-side shuffle.
+type sendSession struct {
+	params  SendParams
+	dests   []sendDest
+	offsets []uint64
+	bufs    [][]byte
+	tuples  uint64
+	pending int
+	ended   bool
+	ready   bool
+	backlog []segment
+	done    bool
+}
+
+// SendKernel is the send-side shuffle kernel.
+type SendKernel struct {
+	sess  *sendSession
+	stats Stats
+}
+
+// NewSend creates a send-side shuffle kernel.
+func NewSend() *SendKernel { return &SendKernel{} }
+
+// Name implements core.Kernel.
+func (k *SendKernel) Name() string { return "shuffle-send" }
+
+// Stats returns a snapshot of the counters.
+func (k *SendKernel) Stats() Stats { return k.stats }
+
+// Resources implements core.Kernel: fewer partitions but MTU-sized
+// buffers, comparable on-chip memory to the receive-side kernel.
+func (k *SendKernel) Resources() fpga.Resources {
+	return fpga.Resources{LUTs: 10400, FFs: 13100, BRAMs: 34}
+}
+
+// Invoke implements core.Kernel: load the partition table from local
+// host memory.
+func (k *SendKernel) Invoke(ctx *core.Context, qpn uint32, raw []byte) {
+	k.stats.Invocations++
+	p, err := DecodeSendParams(raw)
+	if err != nil {
+		k.stats.Errors++
+		ctx.Tracef("bad params: %v", err)
+		return
+	}
+	if p.NumPartitions == 0 || p.NumPartitions > SendMaxPartitions || p.NumPartitions&(p.NumPartitions-1) != 0 {
+		k.stats.Errors++
+		ctx.Tracef("bad partition count %d", p.NumPartitions)
+		return
+	}
+	s := &sendSession{
+		params:  p,
+		offsets: make([]uint64, p.NumPartitions),
+		bufs:    make([][]byte, p.NumPartitions),
+	}
+	k.sess = s
+	ctx.DMARead(p.TableAddress, int(p.NumPartitions)*SendDescriptorSize, func(table []byte, err error) {
+		if err != nil {
+			k.stats.Errors++
+			ctx.Tracef("partition table read failed: %v", err)
+			return
+		}
+		s.dests = make([]sendDest, p.NumPartitions)
+		for i := range s.dests {
+			s.dests[i] = sendDest{
+				qpn:      binary.LittleEndian.Uint32(table[i*SendDescriptorSize:]),
+				remoteVA: binary.LittleEndian.Uint64(table[i*SendDescriptorSize+8:]),
+			}
+		}
+		s.ready = true
+		backlog := s.backlog
+		s.backlog = nil
+		for _, seg := range backlog {
+			k.consume(ctx, s, seg.data, seg.last)
+		}
+	})
+}
+
+// Stream implements core.Kernel: local data flows through the kernel on
+// its way out (invoked via StreamLocal, a "send kernel", §3.5).
+func (k *SendKernel) Stream(ctx *core.Context, qpn uint32, data []byte, last bool) {
+	s := k.sess
+	if s == nil {
+		k.stats.Errors++
+		ctx.Tracef("stream before parameters")
+		return
+	}
+	if !s.ready {
+		s.backlog = append(s.backlog, segment{data: append([]byte(nil), data...), last: last})
+		return
+	}
+	k.consume(ctx, s, data, last)
+}
+
+func (k *SendKernel) consume(ctx *core.Context, s *sendSession, data []byte, last bool) {
+	n := uint32(len(s.dests))
+	for i := 0; i+TupleSize <= len(data); i += TupleSize {
+		v := binary.LittleEndian.Uint64(data[i:])
+		pid := Partition(v, n)
+		s.bufs[pid] = append(s.bufs[pid], data[i:i+TupleSize]...)
+		s.tuples++
+		k.stats.Tuples++
+		if len(s.bufs[pid]) >= SendBufferBytes {
+			k.flush(ctx, s, pid)
+		}
+	}
+	sessionEnd := last
+	if s.params.TotalTuples > 0 {
+		sessionEnd = s.tuples >= s.params.TotalTuples
+	}
+	if sessionEnd {
+		s.ended = true
+		for pid := range s.bufs {
+			if len(s.bufs[pid]) > 0 {
+				k.flush(ctx, s, uint32(pid))
+			}
+		}
+		k.maybeComplete(ctx, s)
+	}
+}
+
+// flush sends one partition buffer to its remote machine as an RDMA
+// WRITE over the partition's queue pair.
+func (k *SendKernel) flush(ctx *core.Context, s *sendSession, pid uint32) {
+	buf := s.bufs[pid]
+	s.bufs[pid] = nil
+	d := s.dests[pid]
+	dst := d.remoteVA + s.offsets[pid]
+	s.offsets[pid] += uint64(len(buf))
+	s.pending++
+	k.stats.Flushes++
+	ctx.RDMAWrite(d.qpn, dst, buf, func(err error) {
+		if err != nil {
+			k.stats.Errors++
+			ctx.Tracef("partition %d write failed: %v", pid, err)
+		}
+		s.pending--
+		k.maybeComplete(ctx, s)
+	})
+}
+
+// maybeComplete posts the local completion count once everything is
+// acknowledged.
+func (k *SendKernel) maybeComplete(ctx *core.Context, s *sendSession) {
+	if !s.ended || s.pending != 0 || s.done {
+		return
+	}
+	s.done = true
+	out := make([]byte, 8)
+	binary.LittleEndian.PutUint64(out, s.tuples)
+	ctx.DMAWrite(s.params.CompletionAddress, out, func(error) {})
+}

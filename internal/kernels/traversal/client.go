@@ -1,0 +1,96 @@
+package traversal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"strom/internal/core"
+	"strom/internal/hostmem"
+	"strom/internal/sim"
+)
+
+// Lookup errors.
+var (
+	ErrNotFound = errors.New("traversal: key not found")
+	ErrRemote   = errors.New("traversal: remote kernel error")
+)
+
+// Lookup issues a traversal RPC from the calling process and polls local
+// memory for the response: the value followed by the 8 B status word.
+// params.ResponseAddress must point into a buffer registered with nic.
+func Lookup(p *sim.Process, nic *core.NIC, qpn uint32, rpcOp uint64, params Params) ([]byte, error) {
+	statusVA := hostmem.Addr(params.ResponseAddress + uint64(params.ValueSize))
+	// Clear the status word before invoking.
+	if err := nic.Memory().WriteVirt(statusVA, make([]byte, 8)); err != nil {
+		return nil, err
+	}
+	if err := nic.RPCSync(p, qpn, rpcOp, params.Encode()); err != nil {
+		return nil, err
+	}
+	host := nic.Host()
+	raw, err := host.Poll(p, nic.Memory(), statusVA, 8, func(b []byte) bool {
+		return binary.LittleEndian.Uint64(b) != 0
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	switch status := binary.LittleEndian.Uint64(raw); status {
+	case StatusFound:
+		return nic.Memory().ReadVirt(hostmem.Addr(params.ResponseAddress), int(params.ValueSize))
+	case StatusNotFound:
+		return nil, ErrNotFound
+	default:
+		return nil, fmt.Errorf("%w (status %d)", ErrRemote, status)
+	}
+}
+
+// Reference walks the same traversal host-side (untimed), serving as the
+// oracle for property tests: it must agree with the kernel for any
+// structure and parameter set.
+func Reference(mem *hostmem.Memory, p Params, maxHops int) ([]byte, uint64) {
+	if maxHops <= 0 {
+		maxHops = 1024
+	}
+	addr := p.RemoteAddress
+	for hop := 0; hop < maxHops && addr != 0; hop++ {
+		elem, err := mem.ReadVirt(hostmem.Addr(addr), ElementSize)
+		if err != nil {
+			return nil, StatusError
+		}
+		matchIdx := -1
+		for i := 0; i < slots-1; i++ {
+			if p.KeyMask&(1<<i) == 0 {
+				continue
+			}
+			if p.PredicateOp.Eval(binary.LittleEndian.Uint64(elem[4*i:4*i+8]), p.Key) {
+				matchIdx = i
+				break
+			}
+		}
+		if matchIdx >= 0 {
+			vpos := int(p.ValuePtrPosition)
+			if p.IsRelativePosition {
+				vpos += matchIdx
+			}
+			if vpos < 0 || vpos >= slots-1 {
+				return nil, StatusError
+			}
+			valuePtr := binary.LittleEndian.Uint64(elem[4*vpos : 4*vpos+8])
+			val, err := mem.ReadVirt(hostmem.Addr(valuePtr), int(p.ValueSize))
+			if err != nil {
+				return nil, StatusError
+			}
+			return val, StatusFound
+		}
+		if !p.NextElementPtrValid {
+			return nil, StatusNotFound
+		}
+		npos := int(p.NextElementPtrPosition)
+		if npos < 0 || npos >= slots-1 {
+			return nil, StatusError
+		}
+		addr = binary.LittleEndian.Uint64(elem[4*npos : 4*npos+8])
+	}
+	return nil, StatusNotFound
+}

@@ -1,0 +1,269 @@
+// Package kvstore builds the remote-memory data-structure layouts the
+// paper's kernels traverse: the linked list of Figure 6 and a Pilaf-style
+// hash table (§6.2) with fixed-size entries pointing into a value region.
+// The layouts respect the traversal kernel's constraints: elements of at
+// most 64 B, 8 B keys, 4 B-aligned fields.
+package kvstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"strom/internal/hll"
+	"strom/internal/hostmem"
+	"strom/internal/kernels/traversal"
+)
+
+// Errors returned by the builders.
+var (
+	ErrRegionFull   = errors.New("kvstore: region exhausted")
+	ErrBucketsFull  = errors.New("kvstore: hash table entry full (3 buckets)")
+	ErrLengthsDiff  = errors.New("kvstore: keys and values length mismatch")
+	ErrValueTooLong = errors.New("kvstore: value too long")
+)
+
+// Region is a bump allocator over a registered host-memory buffer.
+type Region struct {
+	mem  *hostmem.Memory
+	base hostmem.Addr
+	size int
+	off  int
+}
+
+// NewRegion wraps a buffer as an allocation region.
+func NewRegion(mem *hostmem.Memory, buf *hostmem.Buffer) *Region {
+	return &Region{mem: mem, base: buf.Base(), size: buf.Size()}
+}
+
+// Alloc reserves n bytes (8 B aligned) and returns their virtual address.
+func (r *Region) Alloc(n int) (hostmem.Addr, error) {
+	aligned := (n + 7) &^ 7
+	if r.off+aligned > r.size {
+		return 0, ErrRegionFull
+	}
+	va := r.base + hostmem.Addr(r.off)
+	r.off += aligned
+	return va, nil
+}
+
+// Used reports the bytes allocated so far.
+func (r *Region) Used() int { return r.off }
+
+// Linked-list element layout (Figure 6): key at position 0, next pointer
+// at position 2, value pointer at position 4 (positions in 4 B units) —
+// giving the paper's parameters keyMask=1, valuePtrPosition=4,
+// nextElementPtrPosition=2.
+const (
+	ListKeyMask     = 0x1
+	ListValuePtrPos = 4
+	ListNextPtrPos  = 2
+	listKeyOffset   = 0
+	listNextOffset  = 8
+	listValueOffset = 16
+)
+
+// List is a singly linked list in remote memory.
+type List struct {
+	Head      hostmem.Addr
+	ValueSize int
+	mem       *hostmem.Memory
+}
+
+// BuildList lays out a linked list with the given keys and equally sized
+// values, in key order from head to tail.
+func BuildList(r *Region, keys []uint64, values [][]byte) (*List, error) {
+	if len(keys) != len(values) {
+		return nil, ErrLengthsDiff
+	}
+	if len(keys) == 0 {
+		return &List{mem: r.mem}, nil
+	}
+	valueSize := len(values[0])
+	elems := make([]hostmem.Addr, len(keys))
+	for i := range keys {
+		va, err := r.Alloc(traversal.ElementSize)
+		if err != nil {
+			return nil, err
+		}
+		elems[i] = va
+	}
+	for i, key := range keys {
+		if len(values[i]) != valueSize {
+			return nil, fmt.Errorf("%w: value %d has %d bytes, want %d", ErrLengthsDiff, i, len(values[i]), valueSize)
+		}
+		valVA, err := r.Alloc(valueSize)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.mem.WriteVirt(valVA, values[i]); err != nil {
+			return nil, err
+		}
+		elem := make([]byte, traversal.ElementSize)
+		binary.LittleEndian.PutUint64(elem[listKeyOffset:], key)
+		if i+1 < len(keys) {
+			binary.LittleEndian.PutUint64(elem[listNextOffset:], uint64(elems[i+1]))
+		}
+		binary.LittleEndian.PutUint64(elem[listValueOffset:], uint64(valVA))
+		if err := r.mem.WriteVirt(elems[i], elem); err != nil {
+			return nil, err
+		}
+	}
+	return &List{Head: elems[0], ValueSize: valueSize, mem: r.mem}, nil
+}
+
+// TraversalParams returns the Table 2 parameters for looking up key in
+// the list, delivering the value to responseVA.
+func (l *List) TraversalParams(key uint64, responseVA hostmem.Addr) traversal.Params {
+	return traversal.Params{
+		RemoteAddress:          uint64(l.Head),
+		ValueSize:              uint32(l.ValueSize),
+		Key:                    key,
+		KeyMask:                ListKeyMask,
+		PredicateOp:            traversal.Equal,
+		ValuePtrPosition:       ListValuePtrPos,
+		IsRelativePosition:     false,
+		NextElementPtrPosition: ListNextPtrPos,
+		NextElementPtrValid:    true,
+		ResponseAddress:        uint64(responseVA),
+	}
+}
+
+// Get walks the list host-side (the oracle for tests).
+func (l *List) Get(key uint64) ([]byte, bool) {
+	addr := l.Head
+	for addr != 0 {
+		elem, err := l.mem.ReadVirt(addr, traversal.ElementSize)
+		if err != nil {
+			return nil, false
+		}
+		if binary.LittleEndian.Uint64(elem[listKeyOffset:]) == key {
+			valVA := hostmem.Addr(binary.LittleEndian.Uint64(elem[listValueOffset:]))
+			val, err := l.mem.ReadVirt(valVA, l.ValueSize)
+			return val, err == nil
+		}
+		addr = hostmem.Addr(binary.LittleEndian.Uint64(elem[listNextOffset:]))
+	}
+	return nil, false
+}
+
+// Pilaf-style hash table (§6.2): a region of fixed 64 B entries, each
+// holding three buckets of (key 8 B, value pointer 8 B, value length
+// 4 B), plus a separate value region. Keys therefore sit at 4 B positions
+// 0, 5 and 10.
+const (
+	HTBuckets      = 3
+	HTBucketStride = 20
+	HTEntrySize    = traversal.ElementSize
+	// HTKeyMask marks the three key positions for the traversal kernel.
+	HTKeyMask = 1 | 1<<5 | 1<<10
+	// HTValuePtrRel: the value pointer sits two 4 B positions after its
+	// key (isRelativePosition = true).
+	HTValuePtrRel = 2
+)
+
+// HashTable is the Pilaf-like store.
+type HashTable struct {
+	mem        *hostmem.Memory
+	region     *Region
+	entriesVA  hostmem.Addr
+	numEntries int
+	items      int
+}
+
+// BuildHashTable allocates an empty table with numEntries fixed entries.
+func BuildHashTable(r *Region, numEntries int) (*HashTable, error) {
+	if numEntries <= 0 {
+		return nil, errors.New("kvstore: need at least one entry")
+	}
+	va, err := r.Alloc(numEntries * HTEntrySize)
+	if err != nil {
+		return nil, err
+	}
+	return &HashTable{mem: r.mem, region: r, entriesVA: va, numEntries: numEntries}, nil
+}
+
+// entryIndex hashes a key to its entry.
+func (h *HashTable) entryIndex(key uint64) int {
+	return int(hll.Hash64(key) % uint64(h.numEntries))
+}
+
+// EntryAddr returns the address of the entry a key hashes to — the
+// remoteAddress parameter the client passes to the GET/traversal kernel
+// (the client computes the hash, as in Pilaf).
+func (h *HashTable) EntryAddr(key uint64) hostmem.Addr {
+	return h.entriesVA + hostmem.Addr(h.entryIndex(key)*HTEntrySize)
+}
+
+// Put inserts a key/value pair, allocating the value in the value region.
+func (h *HashTable) Put(key uint64, value []byte) error {
+	if len(value) > 1<<30 {
+		return ErrValueTooLong
+	}
+	entryVA := h.EntryAddr(key)
+	entry, err := h.mem.ReadVirt(entryVA, HTEntrySize)
+	if err != nil {
+		return err
+	}
+	for b := 0; b < HTBuckets; b++ {
+		off := b * HTBucketStride
+		cur := binary.LittleEndian.Uint64(entry[off:])
+		if cur != 0 && cur != key {
+			continue
+		}
+		valVA, err := h.region.Alloc(len(value))
+		if err != nil {
+			return err
+		}
+		if err := h.mem.WriteVirt(valVA, value); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(entry[off:], key)
+		binary.LittleEndian.PutUint64(entry[off+8:], uint64(valVA))
+		binary.LittleEndian.PutUint32(entry[off+16:], uint32(len(value)))
+		h.items++
+		return h.mem.WriteVirt(entryVA, entry)
+	}
+	return ErrBucketsFull
+}
+
+// Get looks a key up host-side (the oracle for tests).
+func (h *HashTable) Get(key uint64) ([]byte, bool) {
+	entry, err := h.mem.ReadVirt(h.EntryAddr(key), HTEntrySize)
+	if err != nil {
+		return nil, false
+	}
+	for b := 0; b < HTBuckets; b++ {
+		off := b * HTBucketStride
+		if binary.LittleEndian.Uint64(entry[off:]) != key {
+			continue
+		}
+		valVA := hostmem.Addr(binary.LittleEndian.Uint64(entry[off+8:]))
+		n := int(binary.LittleEndian.Uint32(entry[off+16:]))
+		val, err := h.mem.ReadVirt(valVA, n)
+		return val, err == nil
+	}
+	return nil, false
+}
+
+// TraversalParams returns Table 2 parameters for a hash-table GET of a
+// fixed-size value via the traversal kernel: three key positions, value
+// pointer relative to the matching key, no chaining.
+func (h *HashTable) TraversalParams(key uint64, valueSize int, responseVA hostmem.Addr) traversal.Params {
+	return traversal.Params{
+		RemoteAddress:      uint64(h.EntryAddr(key)),
+		ValueSize:          uint32(valueSize),
+		Key:                key,
+		KeyMask:            HTKeyMask,
+		PredicateOp:        traversal.Equal,
+		ValuePtrPosition:   HTValuePtrRel,
+		IsRelativePosition: true,
+		ResponseAddress:    uint64(responseVA),
+	}
+}
+
+// Len reports the number of stored items.
+func (h *HashTable) Len() int { return h.items }
+
+// NumEntries reports the table's entry count.
+func (h *HashTable) NumEntries() int { return h.numEntries }

@@ -1,0 +1,193 @@
+package kvstore
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"strom/internal/hostmem"
+)
+
+func newRegion(t *testing.T, mb int) (*hostmem.Memory, *Region) {
+	t.Helper()
+	pages := mb/2 + 2
+	mem := hostmem.New(pages + 2)
+	buf, err := mem.Allocate(mb << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mem, NewRegion(mem, buf)
+}
+
+func TestRegionAlignmentAndExhaustion(t *testing.T) {
+	_, r := newRegion(t, 2)
+	a, err := r.Alloc(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := r.Alloc(8)
+	if b-a != 8 {
+		t.Errorf("alloc not 8B aligned: %d", b-a)
+	}
+	if r.Used() != 16 {
+		t.Errorf("used = %d", r.Used())
+	}
+	if _, err := r.Alloc(3 << 20); !errors.Is(err, ErrRegionFull) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBuildListAndGet(t *testing.T) {
+	_, r := newRegion(t, 4)
+	keys := []uint64{10, 20, 30, 40}
+	values := [][]byte{[]byte("aaaaaaaa"), []byte("bbbbbbbb"), []byte("cccccccc"), []byte("dddddddd")}
+	l, err := BuildList(r, keys, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		got, ok := l.Get(k)
+		if !ok || !bytes.Equal(got, values[i]) {
+			t.Errorf("Get(%d) = %q, %v", k, got, ok)
+		}
+	}
+	if _, ok := l.Get(99); ok {
+		t.Error("missing key found")
+	}
+}
+
+func TestBuildListValidation(t *testing.T) {
+	_, r := newRegion(t, 2)
+	if _, err := BuildList(r, []uint64{1}, nil); !errors.Is(err, ErrLengthsDiff) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := BuildList(r, []uint64{1, 2}, [][]byte{{1, 2}, {1}}); !errors.Is(err, ErrLengthsDiff) {
+		t.Errorf("uneven values err = %v", err)
+	}
+	l, err := BuildList(r, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := l.Get(1); ok {
+		t.Error("empty list found a key")
+	}
+}
+
+func TestListTraversalParamsMatchLayout(t *testing.T) {
+	_, r := newRegion(t, 2)
+	l, err := BuildList(r, []uint64{7}, [][]byte{{1, 2, 3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := l.TraversalParams(7, 0x1000)
+	// The paper's example: keyMask 1, valuePtrPosition 4, next pointer 2.
+	if p.KeyMask != 1 || p.ValuePtrPosition != 4 || p.NextElementPtrPosition != 2 {
+		t.Errorf("params = %+v", p)
+	}
+	if !p.NextElementPtrValid || p.IsRelativePosition {
+		t.Errorf("flags wrong: %+v", p)
+	}
+	if p.RemoteAddress != uint64(l.Head) || p.ValueSize != 4 {
+		t.Errorf("addresses wrong: %+v", p)
+	}
+}
+
+func TestHashTablePutGet(t *testing.T) {
+	_, r := newRegion(t, 8)
+	ht, err := BuildHashTable(r, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	want := make(map[uint64][]byte)
+	for i := 0; i < 2000; i++ {
+		k := rng.Uint64()
+		v := make([]byte, 32)
+		rng.Read(v)
+		if err := ht.Put(k, v); err != nil {
+			if errors.Is(err, ErrBucketsFull) {
+				continue // collisions can legitimately fill an entry
+			}
+			t.Fatal(err)
+		}
+		want[k] = v
+	}
+	if ht.Len() != len(want) {
+		t.Errorf("len = %d, want %d", ht.Len(), len(want))
+	}
+	for k, v := range want {
+		got, ok := ht.Get(k)
+		if !ok || !bytes.Equal(got, v) {
+			t.Fatalf("Get(%d) failed", k)
+		}
+	}
+	if _, ok := ht.Get(0xDEAD_BEEF_0000_0001); ok {
+		t.Error("missing key found")
+	}
+}
+
+func TestHashTableUpdateInPlaceKey(t *testing.T) {
+	_, r := newRegion(t, 4)
+	ht, _ := BuildHashTable(r, 64)
+	if err := ht.Put(5, []byte("first___")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ht.Put(5, []byte("second__")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := ht.Get(5)
+	if !ok || string(got) != "second__" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestHashTableBucketOverflow(t *testing.T) {
+	_, r := newRegion(t, 4)
+	ht, _ := BuildHashTable(r, 1) // every key collides
+	for i := uint64(1); i <= 3; i++ {
+		if err := ht.Put(i, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ht.Put(4, []byte{4}); !errors.Is(err, ErrBucketsFull) {
+		t.Errorf("err = %v", err)
+	}
+	// All three stored keys remain retrievable.
+	for i := uint64(1); i <= 3; i++ {
+		if v, ok := ht.Get(i); !ok || v[0] != byte(i) {
+			t.Errorf("Get(%d) after overflow failed", i)
+		}
+	}
+}
+
+func TestHashTableEntryAddrDeterministic(t *testing.T) {
+	_, r := newRegion(t, 4)
+	ht, _ := BuildHashTable(r, 128)
+	if ht.EntryAddr(42) != ht.EntryAddr(42) {
+		t.Error("entry address not stable")
+	}
+	if ht.NumEntries() != 128 {
+		t.Errorf("entries = %d", ht.NumEntries())
+	}
+	// Entry addresses are 64 B aligned within the entry region.
+	if (ht.EntryAddr(42)-ht.EntryAddr(0))%HTEntrySize != 0 &&
+		(ht.EntryAddr(0)-ht.EntryAddr(42))%HTEntrySize != 0 {
+		t.Error("entry addresses not entry-aligned")
+	}
+}
+
+func TestHashTableTraversalParams(t *testing.T) {
+	_, r := newRegion(t, 4)
+	ht, _ := BuildHashTable(r, 64)
+	p := ht.TraversalParams(9, 16, 0x2000)
+	if p.KeyMask != HTKeyMask || !p.IsRelativePosition || p.ValuePtrPosition != HTValuePtrRel {
+		t.Errorf("params = %+v", p)
+	}
+	if p.NextElementPtrValid {
+		t.Error("hash table should not chain")
+	}
+	if p.RemoteAddress != uint64(ht.EntryAddr(9)) {
+		t.Error("remote address mismatch")
+	}
+}

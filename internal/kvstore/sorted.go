@@ -1,0 +1,85 @@
+package kvstore
+
+import (
+	"sort"
+
+	"strom/internal/hostmem"
+	"strom/internal/kernels/traversal"
+)
+
+// SortedList is an ascending singly linked list. Combined with the
+// traversal kernel's GREATER_THAN predicate it answers successor queries
+// — "the first element larger than X" — in a single network round trip,
+// the skip-list/ordered-index use case the kernel's Table 2 predicates
+// exist for.
+type SortedList struct {
+	list *List
+}
+
+// BuildSortedList sorts the pairs by key and lays them out head-to-tail
+// in ascending order. Values must share one size.
+func BuildSortedList(r *Region, keys []uint64, values [][]byte) (*SortedList, error) {
+	if len(keys) != len(values) {
+		return nil, ErrLengthsDiff
+	}
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	sk := make([]uint64, len(keys))
+	sv := make([][]byte, len(values))
+	for i, j := range idx {
+		sk[i] = keys[j]
+		sv[i] = values[j]
+	}
+	l, err := BuildList(r, sk, sv)
+	if err != nil {
+		return nil, err
+	}
+	return &SortedList{list: l}, nil
+}
+
+// Head returns the first (smallest-key) element's address.
+func (s *SortedList) Head() hostmem.Addr { return s.list.Head }
+
+// SuccessorParams returns traversal parameters that find the value of the
+// first key strictly greater than key.
+func (s *SortedList) SuccessorParams(key uint64, responseVA hostmem.Addr) traversal.Params {
+	p := s.list.TraversalParams(key, responseVA)
+	p.PredicateOp = traversal.GreaterThan
+	return p
+}
+
+// LookupParams returns exact-match parameters (same as a plain list).
+func (s *SortedList) LookupParams(key uint64, responseVA hostmem.Addr) traversal.Params {
+	return s.list.TraversalParams(key, responseVA)
+}
+
+// Successor walks the list host-side (the oracle): the value of the first
+// key > key, or false when key is >= the maximum.
+func (s *SortedList) Successor(key uint64) ([]byte, bool) {
+	addr := s.list.Head
+	for addr != 0 {
+		elem, err := s.list.mem.ReadVirt(addr, traversal.ElementSize)
+		if err != nil {
+			return nil, false
+		}
+		k := leUint64(elem[listKeyOffset:])
+		if k > key {
+			valVA := hostmem.Addr(leUint64(elem[listValueOffset:]))
+			val, err := s.list.mem.ReadVirt(valVA, s.list.ValueSize)
+			return val, err == nil
+		}
+		addr = hostmem.Addr(leUint64(elem[listNextOffset:]))
+	}
+	return nil, false
+}
+
+func leUint64(b []byte) uint64 {
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}

@@ -1,0 +1,103 @@
+package kvstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+func TestSortedListSuccessorOracle(t *testing.T) {
+	_, r := newRegion(t, 4)
+	rng := rand.New(rand.NewSource(1))
+	const n = 50
+	keys := make([]uint64, n)
+	values := make([][]byte, n)
+	for i := range keys {
+		keys[i] = uint64(rng.Intn(1000))*2 + 2 // even keys in [2, 2000]
+		values[i] = make([]byte, 8)
+		binary.LittleEndian.PutUint64(values[i], keys[i])
+	}
+	sl, err := BuildSortedList(r, keys, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := append([]uint64(nil), keys...)
+	for i := 0; i < len(sorted); i++ {
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[j] < sorted[i] {
+				sorted[i], sorted[j] = sorted[j], sorted[i]
+			}
+		}
+	}
+	// Probe odd values: the successor is the first even key above.
+	for probe := uint64(1); probe < 2002; probe += 99 {
+		var want uint64
+		found := false
+		for _, k := range sorted {
+			if k > probe {
+				want = k
+				found = true
+				break
+			}
+		}
+		got, ok := sl.Successor(probe)
+		if ok != found {
+			t.Fatalf("probe %d: ok=%v want %v", probe, ok, found)
+		}
+		if found && binary.LittleEndian.Uint64(got) != want {
+			t.Errorf("probe %d: successor value %d, want %d", probe, binary.LittleEndian.Uint64(got), want)
+		}
+	}
+}
+
+func TestSortedListParams(t *testing.T) {
+	_, r := newRegion(t, 2)
+	sl, err := BuildSortedList(r, []uint64{30, 10, 20}, [][]byte{{3}, {1}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sl.SuccessorParams(15, 0x1000)
+	if p.PredicateOp.String() != "GREATER_THAN" {
+		t.Errorf("predicate = %v", p.PredicateOp)
+	}
+	if p.RemoteAddress != uint64(sl.Head()) {
+		t.Error("remote address not the head")
+	}
+	lp := sl.LookupParams(20, 0x1000)
+	if lp.PredicateOp.String() != "EQUAL" {
+		t.Errorf("lookup predicate = %v", lp.PredicateOp)
+	}
+	// The head must hold the smallest key.
+	elem, _ := r.mem.ReadVirt(sl.Head(), 8)
+	if binary.LittleEndian.Uint64(elem) != 10 {
+		t.Error("list not sorted ascending")
+	}
+}
+
+func TestSortedListValidation(t *testing.T) {
+	_, r := newRegion(t, 2)
+	if _, err := BuildSortedList(r, []uint64{1}, nil); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestSortedListValuesFollowKeys(t *testing.T) {
+	// Sorting must keep key/value association.
+	_, r := newRegion(t, 2)
+	sl, err := BuildSortedList(r, []uint64{5, 1, 9}, [][]byte{[]byte("five"), []byte("one_"), []byte("nine")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := sl.Successor(4)
+	if !ok || !bytes.Equal(got, []byte("five")) {
+		t.Errorf("successor(4) = %q, %v", got, ok)
+	}
+	got, ok = sl.Successor(5)
+	if !ok || !bytes.Equal(got, []byte("nine")) {
+		t.Errorf("successor(5) = %q, %v", got, ok)
+	}
+	if _, ok := sl.Successor(9); ok {
+		t.Error("successor of max key found")
+	}
+}

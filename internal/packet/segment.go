@@ -1,0 +1,149 @@
+package packet
+
+import "fmt"
+
+// PathMTUPayload is the per-packet payload StRoM uses on an Ethernet MTU
+// of 1500: large enough to keep header overhead low (the 9.4 Gbit/s ideal
+// goodput in Fig. 5b), aligned to the widest (64 B) data path.
+const PathMTUPayload = 1408
+
+// MessageKind selects the verb family a message is segmented into.
+type MessageKind int
+
+// Message kinds.
+const (
+	KindWrite    MessageKind = iota // RDMA WRITE
+	KindRPCWrite                    // RDMA RPC WRITE (payload forwarded to kernel)
+)
+
+// Segment splits a message payload into the packet sequence the TX
+// pipeline generates: First/Middle.../Last for multi-packet messages, or a
+// single Only packet. The RETH travels on the first packet only; the PSN
+// increments per packet. Returned packets share the payload's backing
+// array (the caller encodes them immediately).
+func Segment(kind MessageKind, destQP uint32, psn uint32, reth RETH, payload []byte, mtuPayload int) ([]*Packet, error) {
+	if mtuPayload <= 0 {
+		return nil, fmt.Errorf("packet: invalid MTU payload %d", mtuPayload)
+	}
+	if len(payload) == 0 && kind == KindWrite {
+		// Zero-length writes are legal (used as doorbells); emit one Only.
+		payload = []byte{}
+	}
+	var first, middle, last, only Opcode
+	switch kind {
+	case KindWrite:
+		first, middle, last, only = OpWriteFirst, OpWriteMiddle, OpWriteLast, OpWriteOnly
+	case KindRPCWrite:
+		first, middle, last, only = OpRPCWriteFirst, OpRPCWriteMiddle, OpRPCWriteLast, OpRPCWriteOnly
+	default:
+		return nil, fmt.Errorf("packet: unknown message kind %d", kind)
+	}
+	n := (len(payload) + mtuPayload - 1) / mtuPayload
+	if n == 0 {
+		n = 1
+	}
+	pkts := make([]*Packet, 0, n)
+	for i := 0; i < n; i++ {
+		lo := i * mtuPayload
+		hi := lo + mtuPayload
+		if hi > len(payload) {
+			hi = len(payload)
+		}
+		var op Opcode
+		switch {
+		case n == 1:
+			op = only
+		case i == 0:
+			op = first
+		case i == n-1:
+			op = last
+		default:
+			op = middle
+		}
+		pkt := &Packet{
+			BTH:     BTH{Opcode: op, DestQP: destQP, PSN: (psn + uint32(i)) & 0xFFFFFF, AckReq: i == n-1},
+			Payload: payload[lo:hi],
+		}
+		if op.HasRETH() {
+			r := reth
+			pkt.RETH = &r
+		}
+		pkts = append(pkts, pkt)
+	}
+	return pkts, nil
+}
+
+// ReadRequest builds an RDMA READ Request packet.
+func ReadRequest(destQP, psn uint32, reth RETH) *Packet {
+	r := reth
+	return &Packet{
+		BTH:  BTH{Opcode: OpReadRequest, DestQP: destQP, PSN: psn, AckReq: true},
+		RETH: &r,
+	}
+}
+
+// RPCParams builds the single-packet RDMA RPC Params message (§5.1): the
+// RETH address field carries the RPC op-code and the payload carries the
+// kernel parameters (at most one MTU).
+func RPCParams(destQP, psn uint32, rpcOpcode uint64, params []byte, mtuPayload int) (*Packet, error) {
+	if len(params) > mtuPayload {
+		return nil, fmt.Errorf("packet: RPC params %d bytes exceed one MTU payload (%d)", len(params), mtuPayload)
+	}
+	return &Packet{
+		BTH:     BTH{Opcode: OpRPCParams, DestQP: destQP, PSN: psn, AckReq: true},
+		RETH:    &RETH{VirtualAddress: rpcOpcode, DMALength: uint32(len(params))},
+		Payload: params,
+	}, nil
+}
+
+// Ack builds an ACK (or NAK, depending on syndrome) packet.
+func Ack(destQP, psn uint32, syndrome uint8, msn uint32) *Packet {
+	return &Packet{
+		BTH:  BTH{Opcode: OpAcknowledge, DestQP: destQP, PSN: psn},
+		AETH: &AETH{Syndrome: syndrome, MSN: msn},
+	}
+}
+
+// ReadResponse segments READ response data into response packets.
+func ReadResponse(destQP, psn uint32, msn uint32, payload []byte, mtuPayload int) []*Packet {
+	n := (len(payload) + mtuPayload - 1) / mtuPayload
+	if n == 0 {
+		n = 1
+	}
+	pkts := make([]*Packet, 0, n)
+	for i := 0; i < n; i++ {
+		lo := i * mtuPayload
+		hi := lo + mtuPayload
+		if hi > len(payload) {
+			hi = len(payload)
+		}
+		var op Opcode
+		switch {
+		case n == 1:
+			op = OpReadRespOnly
+		case i == 0:
+			op = OpReadRespFirst
+		case i == n-1:
+			op = OpReadRespLast
+		default:
+			op = OpReadRespMiddle
+		}
+		pkt := &Packet{
+			BTH:     BTH{Opcode: op, DestQP: destQP, PSN: (psn + uint32(i)) & 0xFFFFFF},
+			Payload: payload[lo:hi],
+		}
+		if op.HasAETH() {
+			pkt.AETH = &AETH{Syndrome: SynACK, MSN: msn}
+		}
+		pkts = append(pkts, pkt)
+	}
+	return pkts
+}
+
+// NumSegments reports how many packets a payload of length n segments into.
+func NumSegments(n, mtuPayload int) int {
+	if n == 0 {
+		return 1
+	}
+	return (n + mtuPayload - 1) / mtuPayload
+}

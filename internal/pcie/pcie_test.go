@@ -1,0 +1,255 @@
+package pcie
+
+import (
+	"bytes"
+	"testing"
+
+	"strom/internal/hostmem"
+	"strom/internal/sim"
+	"strom/internal/tlb"
+)
+
+func testRig(t *testing.T, cfg Config, pages int) (*sim.Engine, *Engine, *hostmem.Memory, *hostmem.Buffer) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	mem := hostmem.New(pages + 2)
+	buf, err := mem.Allocate(pages * hostmem.HugePageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := tlb.New(0)
+	pas, _ := buf.PhysicalPages()
+	for i, pa := range pas {
+		if err := tl.Populate(buf.Base()+hostmem.Addr(i*hostmem.HugePageSize), pa); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return eng, NewEngine(eng, mem, tl, cfg), mem, buf
+}
+
+func TestDMAWriteThenReadRoundTrip(t *testing.T) {
+	eng, dma, _, buf := testRig(t, Gen3x8(), 2)
+	data := []byte("hello from the NIC")
+	var got []byte
+	dma.WriteHost(buf.Base()+64, data, func(err error) {
+		if err != nil {
+			t.Errorf("write: %v", err)
+		}
+		dma.ReadHost(buf.Base()+64, len(data), func(b []byte, err error) {
+			if err != nil {
+				t.Errorf("read: %v", err)
+			}
+			got = b
+		})
+	})
+	eng.Run()
+	if !bytes.Equal(got, data) {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestDMAReadLatencyIsAbout1500ns(t *testing.T) {
+	// The paper's footnote 7: PCIe memory access latency ~1.5 us. A
+	// 64-byte DMA read should land in that neighbourhood.
+	eng, dma, _, buf := testRig(t, Gen3x8(), 1)
+	var done sim.Time
+	eng.Schedule(0, func() {
+		dma.ReadHost(buf.Base(), 64, func(b []byte, err error) {
+			if err != nil {
+				t.Error(err)
+			}
+			done = eng.Now()
+		})
+	})
+	eng.Run()
+	us := sim.Duration(done).Microseconds()
+	if us < 1.2 || us > 1.8 {
+		t.Errorf("64B DMA read latency = %.2f us, want ~1.5", us)
+	}
+}
+
+func TestDMAWriteVisibleToHostAccess(t *testing.T) {
+	eng, dma, mem, buf := testRig(t, Gen3x8(), 1)
+	dma.WriteHost(buf.Base(), []byte{1, 2, 3}, func(err error) {})
+	eng.Run()
+	got, err := mem.ReadVirt(buf.Base(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestDMAPageCrossingSplit(t *testing.T) {
+	eng, dma, _, buf := testRig(t, Gen3x8(), 3)
+	data := make([]byte, 3000)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	va := buf.Base() + hostmem.Addr(hostmem.HugePageSize-1000)
+	var got []byte
+	dma.WriteHost(va, data, func(err error) {
+		if err != nil {
+			t.Errorf("write: %v", err)
+			return
+		}
+		dma.ReadHost(va, len(data), func(b []byte, err error) {
+			if err != nil {
+				t.Errorf("read: %v", err)
+			}
+			got = b
+		})
+	})
+	eng.Run()
+	if !bytes.Equal(got, data) {
+		t.Error("page-crossing round trip mismatch")
+	}
+	if dma.Stats().SplitSegments < 2 {
+		t.Errorf("splits = %d, want >= 2", dma.Stats().SplitSegments)
+	}
+}
+
+func TestDMAUnmappedAddressFails(t *testing.T) {
+	eng, dma, _, _ := testRig(t, Gen3x8(), 1)
+	var rerr, werr error
+	called := 0
+	dma.ReadHost(hostmem.Addr(1<<40), 10, func(b []byte, err error) { rerr = err; called++ })
+	dma.WriteHost(hostmem.Addr(1<<40), []byte{1}, func(err error) { werr = err; called++ })
+	eng.Run()
+	if called != 2 || rerr == nil || werr == nil {
+		t.Errorf("called=%d rerr=%v werr=%v", called, rerr, werr)
+	}
+}
+
+func TestDMABandwidthBound(t *testing.T) {
+	// Streaming 64 MB through c2h must take about 64MB/6GB/s ~ 10.7 ms on
+	// Gen3 x8 (48 Gbit/s effective).
+	eng, dma, _, buf := testRig(t, Gen3x8(), 40)
+	const total = 64 << 20
+	const chunk = 1 << 20
+	var done sim.Time
+	pending := total / chunk
+	eng.Schedule(0, func() {
+		for i := 0; i < total/chunk; i++ {
+			va := buf.Base() + hostmem.Addr(i*chunk%(32<<20))
+			dma.WriteHost(va, make([]byte, chunk), func(err error) {
+				if err != nil {
+					t.Error(err)
+				}
+				pending--
+				if pending == 0 {
+					done = eng.Now()
+				}
+			})
+		}
+	})
+	eng.Run()
+	gbps := float64(total) * 8 / sim.Duration(done).Seconds() / 1e9
+	if gbps < 44 || gbps > 50 {
+		t.Errorf("streaming bandwidth = %.1f Gbit/s, want ~48", gbps)
+	}
+}
+
+func TestDMACommandOverheadHurtsSmallTransfers(t *testing.T) {
+	// 64 B commands at 20 ns/command cap out well below link bandwidth —
+	// the reason the shuffle kernel cannot keep up at 100 G (§7).
+	eng, dma, _, buf := testRig(t, Gen3x16(), 2)
+	const n = 10000
+	pending := n
+	var done sim.Time
+	eng.Schedule(0, func() {
+		for i := 0; i < n; i++ {
+			va := buf.Base() + hostmem.Addr(i*128%hostmem.HugePageSize)
+			dma.WriteHost(va, make([]byte, 64), func(err error) {
+				pending--
+				if pending == 0 {
+					done = eng.Now()
+				}
+			})
+		}
+	})
+	eng.Run()
+	gbps := float64(n*64) * 8 / sim.Duration(done).Seconds() / 1e9
+	if gbps > 25 {
+		t.Errorf("random 64B write bandwidth = %.1f Gbit/s, expected command-bound (<25)", gbps)
+	}
+}
+
+func TestMMIOWriteOrderingAndLatency(t *testing.T) {
+	eng, dma, _, _ := testRig(t, Gen3x8(), 1)
+	var times []sim.Time
+	eng.Schedule(0, func() {
+		for i := 0; i < 3; i++ {
+			dma.MMIOWrite(func() { times = append(times, eng.Now()) })
+		}
+	})
+	eng.Run()
+	if len(times) != 3 {
+		t.Fatalf("%d arrivals", len(times))
+	}
+	if times[0] < sim.Time(300*sim.Nanosecond) {
+		t.Errorf("first doorbell at %v, before MMIO latency", times[0])
+	}
+	for i := 1; i < 3; i++ {
+		if times[i] <= times[i-1] {
+			t.Error("doorbells not serialized")
+		}
+	}
+}
+
+func TestMMIORead(t *testing.T) {
+	eng, dma, _, _ := testRig(t, Gen3x8(), 1)
+	var got uint64
+	var at sim.Time
+	eng.Schedule(0, func() {
+		dma.MMIORead(func() uint64 { return 0xBEEF }, func(v uint64) { got = v; at = eng.Now() })
+	})
+	eng.Run()
+	if got != 0xBEEF {
+		t.Errorf("got %#x", got)
+	}
+	if at < sim.Time(900*sim.Nanosecond) {
+		t.Errorf("MMIO read completed at %v, faster than a round trip", at)
+	}
+}
+
+func TestZeroLengthWriteCompletes(t *testing.T) {
+	eng, dma, _, buf := testRig(t, Gen3x8(), 1)
+	called := false
+	dma.WriteHost(buf.Base(), nil, func(err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		called = true
+	})
+	eng.Run()
+	if !called {
+		t.Error("completion not called")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	eng, dma, _, buf := testRig(t, Gen3x8(), 1)
+	dma.WriteHost(buf.Base(), make([]byte, 100), func(error) {})
+	dma.ReadHost(buf.Base(), 50, func([]byte, error) {})
+	eng.Run()
+	st := dma.Stats()
+	if st.WriteCommands != 1 || st.ReadCommands != 1 || st.WriteBytes != 100 || st.ReadBytes != 50 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestConfigPresets(t *testing.T) {
+	x8, x16 := Gen3x8(), Gen3x16()
+	if x8.BandwidthGbps >= x16.BandwidthGbps {
+		t.Error("x8 should be slower than x16")
+	}
+	// The paper's ratios: ~6:1 vs 10 G and ~1:1 vs 100 G.
+	if r := x8.BandwidthGbps / 10; r < 4 || r > 7 {
+		t.Errorf("x8:10G ratio = %.1f", r)
+	}
+	if r := x16.BandwidthGbps / 100; r < 0.9 || r > 1.4 {
+		t.Errorf("x16:100G ratio = %.2f", r)
+	}
+}

@@ -1,0 +1,26 @@
+package roce
+
+// Packet sequence numbers are 24-bit and wrap; the State Table partitions
+// the space into valid, duplicate and invalid regions relative to the
+// expected PSN (§4.1). These helpers implement the modular arithmetic.
+
+const psnMask = 0xFFFFFF
+
+// psnAdd returns (a + n) mod 2^24.
+func psnAdd(a uint32, n uint32) uint32 { return (a + n) & psnMask }
+
+// psnDiff returns the signed distance from b to a in the 24-bit circle:
+// positive when a is ahead of b, in the range [-2^23, 2^23).
+func psnDiff(a, b uint32) int32 {
+	d := (a - b) & psnMask
+	if d >= 1<<23 {
+		return int32(d) - 1<<24
+	}
+	return int32(d)
+}
+
+// psnGE reports whether a is at or ahead of b (within half the circle).
+func psnGE(a, b uint32) bool { return psnDiff(a, b) >= 0 }
+
+// psnLT reports whether a is strictly behind b.
+func psnLT(a, b uint32) bool { return psnDiff(a, b) < 0 }

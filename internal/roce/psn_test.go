@@ -1,0 +1,45 @@
+package roce
+
+import "testing"
+
+func TestPSNAdd(t *testing.T) {
+	if psnAdd(0xFFFFFF, 1) != 0 {
+		t.Error("wrap failed")
+	}
+	if psnAdd(5, 10) != 15 {
+		t.Error("simple add failed")
+	}
+}
+
+func TestPSNDiff(t *testing.T) {
+	cases := []struct {
+		a, b uint32
+		want int32
+	}{
+		{5, 5, 0},
+		{6, 5, 1},
+		{5, 6, -1},
+		{0, 0xFFFFFF, 1},      // across the wrap
+		{0xFFFFFF, 0, -1},     // across the wrap, behind
+		{1 << 22, 0, 1 << 22}, // large forward distance
+		{0, 1 << 22, -(1 << 22)},
+	}
+	for _, c := range cases {
+		if got := psnDiff(c.a, c.b); got != c.want {
+			t.Errorf("psnDiff(%#x,%#x) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestPSNOrderingPredicates(t *testing.T) {
+	if !psnGE(5, 5) || !psnGE(6, 5) || psnGE(4, 5) {
+		t.Error("psnGE wrong")
+	}
+	if !psnLT(4, 5) || psnLT(5, 5) {
+		t.Error("psnLT wrong")
+	}
+	// Wraparound: 2 is "ahead of" 0xFFFFFE.
+	if !psnGE(2, 0xFFFFFE) {
+		t.Error("psnGE across wrap wrong")
+	}
+}

@@ -1,0 +1,592 @@
+package roce
+
+import (
+	"errors"
+	"fmt"
+
+	"strom/internal/packet"
+	"strom/internal/sim"
+)
+
+// Handler is the host-side interface the responder data path drives — in
+// a full NIC this is the StRoM arbitration layer sitting between the
+// stack and the DMA engine (Figure 1).
+type Handler interface {
+	// HandleWrite stores one RDMA WRITE segment at va. Segments of a
+	// message arrive in order; last marks the final segment.
+	HandleWrite(qpn uint32, va uint64, data []byte, last bool)
+	// HandleReadRequest serves an RDMA READ: the handler fetches n bytes
+	// at va (normally via DMA) and calls deliver exactly once.
+	HandleReadRequest(qpn uint32, va uint64, n int, deliver func(data []byte, err error))
+	// HandleRPCParams delivers an RDMA RPC invocation. A non-nil error
+	// NAKs the request ("an error code is written back", §5.1).
+	HandleRPCParams(qpn uint32, rpcOp uint64, params []byte) error
+	// HandleRPCWrite streams one RDMA RPC WRITE segment to the kernel
+	// identified by rpcOp.
+	HandleRPCWrite(qpn uint32, rpcOp uint64, data []byte, last bool) error
+}
+
+// ReadSink consumes RDMA READ response data on the requester: chunks
+// arrive in offset order and the sink must call ack when it has disposed
+// of the chunk (e.g. when the local DMA write completed).
+type ReadSink func(offset int, chunk []byte, ack func())
+
+// Stats counts stack activity, exposed through the Controller's status
+// registers (§4.3).
+type Stats struct {
+	TxPackets       uint64
+	RxPackets       uint64
+	RxDiscarded     uint64 // undecodable (bad ICRC / checksum / opcode)
+	RxDuplicates    uint64
+	RxOutOfOrder    uint64
+	AcksSent        uint64
+	NaksSent        uint64
+	AcksReceived    uint64
+	NaksReceived    uint64
+	Retransmissions uint64
+	Timeouts        uint64
+}
+
+// Request failure modes.
+var (
+	ErrRetryExceeded = errors.New("roce: transport retry count exceeded")
+	ErrRemoteInvalid = errors.New("roce: remote NAK (invalid request)")
+	ErrTooManyReads  = errors.New("roce: too many outstanding reads")
+)
+
+// Stack is one StRoM RoCE v2 protocol engine.
+type Stack struct {
+	eng      *sim.Engine
+	cfg      Config
+	id       Identity
+	handler  Handler
+	transmit func(frame []byte)
+	tracer   *sim.Tracer
+
+	st     *stateTable
+	mq     *multiQueue
+	rxPath *sim.Serializer
+	txPath *sim.Serializer
+	timers []*sim.Event
+
+	stats Stats
+}
+
+// NewStack builds a stack. transmit pushes encoded frames into the
+// fabric; handler receives responder-side operations.
+func NewStack(eng *sim.Engine, cfg Config, id Identity, handler Handler, transmit func([]byte), tracer *sim.Tracer) *Stack {
+	return &Stack{
+		eng:      eng,
+		cfg:      cfg,
+		id:       id,
+		handler:  handler,
+		transmit: transmit,
+		tracer:   tracer,
+		st:       newStateTable(cfg.NumQPs),
+		mq:       newMultiQueue(cfg.NumQPs, cfg.MultiQueuePool, cfg.ReadDepthPerQP),
+		rxPath:   sim.NewSerializer(eng),
+		txPath:   sim.NewSerializer(eng),
+		timers:   make([]*sim.Event, cfg.NumQPs),
+	}
+}
+
+// Config returns the stack configuration.
+func (s *Stack) Config() Config { return s.cfg }
+
+// Identity returns the stack's network identity.
+func (s *Stack) Identity() Identity { return s.id }
+
+// Stats returns a snapshot of the activity counters.
+func (s *Stack) Stats() Stats { return s.stats }
+
+// OutstandingReads reports the Multi-Queue occupancy for a QP.
+func (s *Stack) OutstandingReads(qpn uint32) int { return s.mq.len(qpn) }
+
+// CreateQP installs a queue pair connected to a remote stack.
+func (s *Stack) CreateQP(qpn uint32, remote Identity, remoteQPN uint32) error {
+	return s.st.create(qpn, remote, remoteQPN)
+}
+
+// --- transmit path -------------------------------------------------------
+
+// send runs a packet through the TX pipeline and returns the encoded
+// frame (retained by callers that may need to retransmit it).
+func (s *Stack) send(st *qpState, pkt *packet.Packet) []byte {
+	pkt.SrcMAC = s.id.MAC
+	pkt.DstMAC = st.remote.MAC
+	pkt.SrcIP = s.id.IP
+	pkt.DstIP = st.remote.IP
+	frame := pkt.Encode()
+	s.sendFrame(st, frame, pkt.Words(s.cfg.DataPathBytes))
+	return frame
+}
+
+// sendFrame reserves the TX data path and hands the frame to the fabric.
+// The QP's activity counter is bumped when the frame actually leaves, so
+// the retransmission timer never expires while a long message is still
+// draining through the pipeline.
+func (s *Stack) sendFrame(st *qpState, frame []byte, words int) {
+	end := s.txPath.Reserve(s.cfg.Cycles(words))
+	s.eng.ScheduleAt(end.Add(s.cfg.Cycles(s.cfg.TxFixedCycles)), func() {
+		s.stats.TxPackets++
+		st.progress++
+		s.transmit(frame)
+	})
+}
+
+// retransmitFrame re-sends a stored frame.
+func (s *Stack) retransmitFrame(st *qpState, frame []byte) {
+	words := (len(frame) + s.cfg.DataPathBytes - 1) / s.cfg.DataPathBytes
+	s.stats.Retransmissions++
+	s.sendFrame(st, frame, words)
+}
+
+// --- requester verbs ------------------------------------------------------
+
+// PostWrite issues an RDMA WRITE of data to remoteVA. done fires when the
+// remote NIC acknowledges the last packet.
+func (s *Stack) PostWrite(qpn uint32, remoteVA uint64, data []byte, done func(error)) error {
+	return s.postSegmented(qpn, packet.KindWrite, packet.RETH{VirtualAddress: remoteVA, DMALength: uint32(len(data))}, data, done)
+}
+
+// PostRPCWrite issues an RDMA RPC WRITE: payload streamed to the remote
+// kernel selected by rpcOp (§5.1).
+func (s *Stack) PostRPCWrite(qpn uint32, rpcOp uint64, data []byte, done func(error)) error {
+	return s.postSegmented(qpn, packet.KindRPCWrite, packet.RETH{VirtualAddress: rpcOp, DMALength: uint32(len(data))}, data, done)
+}
+
+func (s *Stack) postSegmented(qpn uint32, kind packet.MessageKind, reth packet.RETH, data []byte, done func(error)) error {
+	st, err := s.st.get(qpn)
+	if err != nil {
+		return err
+	}
+	pkts, err := packet.Segment(kind, st.remoteQPN, st.nextPSN, reth, data, s.cfg.MTUPayload)
+	if err != nil {
+		return err
+	}
+	msg := &outMessage{kind: kind, complete: done}
+	for i, pkt := range pkts {
+		frame := s.send(st, pkt)
+		st.pending = append(st.pending, &pendingPacket{
+			psn: pkt.BTH.PSN, npsn: 1, frame: frame, msg: msg, lastOf: i == len(pkts)-1,
+		})
+	}
+	st.nextPSN = psnAdd(st.nextPSN, uint32(len(pkts)))
+	s.armTimer(qpn, st)
+	return nil
+}
+
+// PostRPC issues an RDMA RPC: a single Params packet carrying the kernel
+// op-code (in the RETH address field) and its parameters.
+func (s *Stack) PostRPC(qpn uint32, rpcOp uint64, params []byte, done func(error)) error {
+	st, err := s.st.get(qpn)
+	if err != nil {
+		return err
+	}
+	pkt, err := packet.RPCParams(st.remoteQPN, st.nextPSN, rpcOp, params, s.cfg.MTUPayload)
+	if err != nil {
+		return err
+	}
+	msg := &outMessage{complete: done}
+	frame := s.send(st, pkt)
+	st.pending = append(st.pending, &pendingPacket{psn: pkt.BTH.PSN, npsn: 1, frame: frame, msg: msg, lastOf: true})
+	st.nextPSN = psnAdd(st.nextPSN, 1)
+	s.armTimer(qpn, st)
+	return nil
+}
+
+// PostRead issues an RDMA READ of n bytes at remoteVA. Response chunks
+// stream into sink in order; done fires once the last chunk's ack ran.
+// The read occupies one Multi-Queue element until completion and consumes
+// one PSN per expected response packet ("an RDMA READ operation requires
+// the length of the response in advance to pre-calculate the number of
+// expected packets and their sequence numbers", §5.1).
+func (s *Stack) PostRead(qpn uint32, remoteVA uint64, n int, sink ReadSink, done func(error)) error {
+	st, err := s.st.get(qpn)
+	if err != nil {
+		return err
+	}
+	npsn := uint32(packet.NumSegments(n, s.cfg.MTUPayload))
+	msg := &outMessage{isRead: true, complete: done}
+	elem, err := s.mq.push(qpn, mqElement{
+		FirstPSN: st.nextPSN,
+		LastPSN:  psnAdd(st.nextPSN, npsn-1),
+		Length:   n,
+		Sink:     sink,
+		Msg:      msg,
+		nextPSN:  st.nextPSN,
+	})
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrTooManyReads, err)
+	}
+	pkt := packet.ReadRequest(st.remoteQPN, st.nextPSN, packet.RETH{VirtualAddress: remoteVA, DMALength: uint32(n)})
+	frame := s.send(st, pkt)
+	elem.ReqFrame = frame
+	st.pending = append(st.pending, &pendingPacket{psn: st.nextPSN, npsn: npsn, frame: frame, msg: msg, isRead: true})
+	st.nextPSN = psnAdd(st.nextPSN, npsn)
+	s.armTimer(qpn, st)
+	return nil
+}
+
+// --- receive path ---------------------------------------------------------
+
+// DeliverFrame is the fabric-facing entry point: the frame flows through
+// the RX pipeline (store-and-forward for ICRC validation at one data-path
+// word per cycle, then the parsing/PSN-check stages).
+func (s *Stack) DeliverFrame(frame []byte) {
+	words := (len(frame) + s.cfg.DataPathBytes - 1) / s.cfg.DataPathBytes
+	end := s.rxPath.Reserve(s.cfg.Cycles(words))
+	s.eng.ScheduleAt(end.Add(s.cfg.Cycles(s.cfg.RxFixedCycles)), func() { s.process(frame) })
+}
+
+func (s *Stack) process(frame []byte) {
+	pkt, err := packet.Decode(frame)
+	if err != nil {
+		// The Packet Dropper discards malformed packets; reliability
+		// recovers via retransmission.
+		s.stats.RxDiscarded++
+		s.tracer.Logf("roce[%v]: discard: %v", s.id.IP, err)
+		return
+	}
+	s.stats.RxPackets++
+	st, err := s.st.get(pkt.BTH.DestQP)
+	if err != nil {
+		s.stats.RxDiscarded++
+		s.tracer.Logf("roce[%v]: discard %v: %v", s.id.IP, pkt, err)
+		return
+	}
+	op := pkt.BTH.Opcode
+	switch {
+	case op == packet.OpAcknowledge:
+		s.handleAck(pkt.BTH.DestQP, st, pkt)
+	case op.IsReadResponse():
+		s.handleReadResponse(pkt.BTH.DestQP, st, pkt)
+	default:
+		s.handleRequest(pkt.BTH.DestQP, st, pkt)
+	}
+}
+
+// --- responder ------------------------------------------------------------
+
+func (s *Stack) handleRequest(qpn uint32, st *qpState, pkt *packet.Packet) {
+	d := psnDiff(pkt.BTH.PSN, st.ePSN)
+	switch {
+	case d > 0:
+		// Invalid region: a gap. Drop and NAK once (go-back-N).
+		s.stats.RxOutOfOrder++
+		if !st.nakSent {
+			st.nakSent = true
+			s.stats.NaksSent++
+			s.send(st, packet.Ack(st.remoteQPN, st.ePSN, packet.SynNAKSequence, st.msn))
+		}
+		return
+	case d < 0:
+		// Duplicate region: acknowledge but do not re-execute writes;
+		// re-execute reads (they are idempotent and the response may
+		// have been lost).
+		s.stats.RxDuplicates++
+		if pkt.BTH.Opcode == packet.OpReadRequest {
+			if rr, ok := st.recentRds[pkt.BTH.PSN]; ok {
+				s.executeRead(qpn, st, rr.va, rr.n, rr.resp)
+			}
+			return
+		}
+		s.send(st, packet.Ack(st.remoteQPN, psnAdd(st.ePSN, psnMask), packet.SynACK, st.msn))
+		s.stats.AcksSent++
+		return
+	}
+	// Valid: execute and advance the expected PSN.
+	st.nakSent = false
+	op := pkt.BTH.Opcode
+	switch {
+	case op.IsWrite():
+		s.execWrite(qpn, st, pkt)
+	case op.IsRPCWrite():
+		s.execRPCWrite(qpn, st, pkt)
+	case op == packet.OpRPCParams:
+		s.execRPCParams(qpn, st, pkt)
+	case op == packet.OpReadRequest:
+		n := int(pkt.RETH.DMALength)
+		npsn := uint32(packet.NumSegments(n, s.cfg.MTUPayload))
+		rr := recentRead{va: pkt.RETH.VirtualAddress, n: n, resp: pkt.BTH.PSN}
+		st.recentRds[pkt.BTH.PSN] = rr
+		if len(st.recentRds) > 4*s.cfg.ReadDepthPerQP {
+			// Bounded cache, like the on-chip structure it models.
+			for k := range st.recentRds {
+				if psnDiff(st.ePSN, k) > int32(8*s.cfg.ReadDepthPerQP) {
+					delete(st.recentRds, k)
+				}
+			}
+		}
+		st.ePSN = psnAdd(st.ePSN, npsn)
+		st.msn = (st.msn + 1) & psnMask
+		s.executeRead(qpn, st, rr.va, n, rr.resp)
+	}
+}
+
+func (s *Stack) execWrite(qpn uint32, st *qpState, pkt *packet.Packet) {
+	op := pkt.BTH.Opcode
+	var va uint64
+	if pkt.RETH != nil {
+		va = pkt.RETH.VirtualAddress
+	} else {
+		va = st.curVA
+	}
+	st.curVA = va + uint64(len(pkt.Payload))
+	st.ePSN = psnAdd(st.ePSN, 1)
+	last := op == packet.OpWriteLast || op == packet.OpWriteOnly
+	s.handler.HandleWrite(qpn, va, pkt.Payload, last)
+	if last {
+		st.msn = (st.msn + 1) & psnMask
+	}
+	if pkt.BTH.AckReq {
+		s.stats.AcksSent++
+		s.send(st, packet.Ack(st.remoteQPN, pkt.BTH.PSN, packet.SynACK, st.msn))
+	}
+}
+
+func (s *Stack) execRPCWrite(qpn uint32, st *qpState, pkt *packet.Packet) {
+	op := pkt.BTH.Opcode
+	if pkt.RETH != nil {
+		// The RETH address field carries the RPC op-code (§5.1).
+		st.curRPCOp = pkt.RETH.VirtualAddress
+	}
+	st.ePSN = psnAdd(st.ePSN, 1)
+	last := op == packet.OpRPCWriteLast || op == packet.OpRPCWriteOnly
+	err := s.handler.HandleRPCWrite(qpn, st.curRPCOp, pkt.Payload, last)
+	if err != nil {
+		s.stats.NaksSent++
+		s.send(st, packet.Ack(st.remoteQPN, pkt.BTH.PSN, packet.SynNAKInvalid, st.msn))
+		return
+	}
+	if last {
+		st.msn = (st.msn + 1) & psnMask
+	}
+	if pkt.BTH.AckReq {
+		s.stats.AcksSent++
+		s.send(st, packet.Ack(st.remoteQPN, pkt.BTH.PSN, packet.SynACK, st.msn))
+	}
+}
+
+func (s *Stack) execRPCParams(qpn uint32, st *qpState, pkt *packet.Packet) {
+	st.ePSN = psnAdd(st.ePSN, 1)
+	err := s.handler.HandleRPCParams(qpn, pkt.RETH.VirtualAddress, pkt.Payload)
+	if err != nil {
+		// No matching kernel and no CPU fallback: error back to the
+		// requesting node (§5.1).
+		s.stats.NaksSent++
+		s.send(st, packet.Ack(st.remoteQPN, pkt.BTH.PSN, packet.SynNAKInvalid, st.msn))
+		return
+	}
+	st.msn = (st.msn + 1) & psnMask
+	s.stats.AcksSent++
+	s.send(st, packet.Ack(st.remoteQPN, pkt.BTH.PSN, packet.SynACK, st.msn))
+}
+
+func (s *Stack) executeRead(qpn uint32, st *qpState, va uint64, n int, respPSN uint32) {
+	s.handler.HandleReadRequest(qpn, va, n, func(data []byte, err error) {
+		if err != nil {
+			s.stats.NaksSent++
+			s.send(st, packet.Ack(st.remoteQPN, respPSN, packet.SynNAKInvalid, st.msn))
+			return
+		}
+		for _, rp := range packet.ReadResponse(st.remoteQPN, respPSN, st.msn, data, s.cfg.MTUPayload) {
+			s.send(st, rp)
+		}
+	})
+}
+
+// --- requester completion -------------------------------------------------
+
+func (s *Stack) handleAck(qpn uint32, st *qpState, pkt *packet.Packet) {
+	st.progress++
+	switch pkt.AETH.Syndrome {
+	case packet.SynACK:
+		s.stats.AcksReceived++
+		s.ackUpTo(qpn, st, pkt.BTH.PSN)
+	case packet.SynNAKSequence:
+		// The remote expects pkt.PSN next: everything before is
+		// implicitly acknowledged; retransmit the rest (go-back-N).
+		s.stats.NaksReceived++
+		s.ackUpTo(qpn, st, psnAdd(pkt.BTH.PSN, psnMask))
+		for _, p := range st.pending {
+			s.retransmitFrame(st, p.frame)
+		}
+		s.armTimer(qpn, st)
+	case packet.SynNAKInvalid:
+		s.stats.NaksReceived++
+		s.failPSN(qpn, st, pkt.BTH.PSN)
+	}
+}
+
+// ackUpTo completes pending request packets with end PSN <= psn. The
+// pending list is a FIFO in PSN order (posts only ever append increasing
+// PSNs), so a cumulative acknowledgement removes a prefix; popping just
+// that prefix keeps ACK processing O(1) amortised even with hundreds of
+// thousands of packets in flight.
+func (s *Stack) ackUpTo(qpn uint32, st *qpState, psn uint32) {
+	k := 0
+	for k < len(st.pending) && psnGE(psn, st.pending[k].endPSN()) {
+		p := st.pending[k]
+		if p.lastOf && !p.isRead {
+			p.msg.finish(nil)
+		}
+		st.pending[k] = nil // release the frame for GC
+		k++
+	}
+	if k > 0 {
+		st.pending = st.pending[k:]
+	}
+	st.retries = 0
+	s.armTimer(qpn, st)
+}
+
+// failPSN fails the message owning the packet with the given PSN.
+func (s *Stack) failPSN(qpn uint32, st *qpState, psn uint32) {
+	keep := st.pending[:0]
+	for _, p := range st.pending {
+		covers := psnGE(psn, p.psn) && psnGE(p.endPSN(), psn)
+		if covers || p.msg.done {
+			p.msg.finish(ErrRemoteInvalid)
+			continue
+		}
+		if psnLT(p.endPSN(), psn) {
+			// Earlier packets were accepted by the responder.
+			if p.lastOf && !p.isRead {
+				p.msg.finish(nil)
+			}
+			continue
+		}
+		keep = append(keep, p)
+	}
+	st.pending = keep
+	s.armTimer(qpn, st)
+}
+
+func (s *Stack) handleReadResponse(qpn uint32, st *qpState, pkt *packet.Packet) {
+	head, ok := s.mq.head(qpn)
+	if !ok {
+		s.stats.RxDiscarded++
+		return
+	}
+	if pkt.BTH.PSN != head.nextPSN {
+		if psnLT(pkt.BTH.PSN, head.nextPSN) {
+			s.stats.RxDuplicates++ // stale data from a re-executed read
+		} else {
+			s.stats.RxOutOfOrder++ // gap: timeout will re-request
+		}
+		return
+	}
+	st.progress++
+	off := head.offset
+	chunk := pkt.Payload
+	head.nextPSN = psnAdd(head.nextPSN, 1)
+	head.offset += len(chunk)
+	elem := head
+	elem.inFlight++
+	if elem.Sink != nil {
+		elem.Sink(off, chunk, func() {
+			elem.inFlight--
+			s.maybeCompleteRead(elem)
+		})
+	} else {
+		elem.inFlight--
+	}
+	if pkt.BTH.PSN == head.LastPSN {
+		head.sawLast = true
+		done, err := s.mq.popHead(qpn)
+		if err == nil {
+			// The response acknowledges the read request packet.
+			s.removeReadPending(st, done.FirstPSN)
+			s.armTimer(qpn, st)
+			s.maybeCompleteRead(done)
+			// Cumulative acknowledgement for earlier requests.
+			s.ackUpTo(qpn, st, psnAdd(done.FirstPSN, psnMask))
+		}
+	}
+}
+
+func (s *Stack) maybeCompleteRead(e *mqElement) {
+	if e.sawLast && e.inFlight == 0 {
+		e.Msg.finish(nil)
+	}
+}
+
+func (s *Stack) removeReadPending(st *qpState, firstPSN uint32) {
+	keep := st.pending[:0]
+	for _, p := range st.pending {
+		if p.isRead && p.psn == firstPSN {
+			continue
+		}
+		keep = append(keep, p)
+	}
+	st.pending = keep
+}
+
+// --- retransmission timer ---------------------------------------------------
+
+// armTimer arms the per-QP retransmission timer when work is outstanding
+// and none is armed; it cancels the timer when the QP goes idle. A timer
+// already ticking is left alone — expiry re-checks the QP's activity
+// counter, so the timer only fires after a full quiet interval (hardware
+// timers restarted on activity), without rescheduling per packet.
+func (s *Stack) armTimer(qpn uint32, st *qpState) {
+	if len(st.pending) == 0 && s.mq.len(qpn) == 0 {
+		if s.timers[qpn] != nil {
+			s.timers[qpn].Cancel()
+			s.timers[qpn] = nil
+		}
+		return
+	}
+	if s.timers[qpn] != nil && s.timers[qpn].Pending() {
+		return
+	}
+	snap := st.progress
+	s.timers[qpn] = s.eng.Schedule(s.cfg.RetransTimeout, func() { s.onTimeout(qpn, st, snap) })
+}
+
+func (s *Stack) onTimeout(qpn uint32, st *qpState, snap uint64) {
+	s.timers[qpn] = nil
+	if len(st.pending) == 0 && s.mq.len(qpn) == 0 {
+		return
+	}
+	if st.progress != snap {
+		// The QP was active during the interval: not a loss, re-arm.
+		s.armTimer(qpn, st)
+		return
+	}
+	s.stats.Timeouts++
+	st.retries++
+	if st.retries > s.cfg.MaxRetries {
+		for _, p := range st.pending {
+			p.msg.finish(ErrRetryExceeded)
+		}
+		st.pending = st.pending[:0]
+		for s.mq.len(qpn) > 0 {
+			e, _ := s.mq.popHead(qpn)
+			e.Msg.finish(ErrRetryExceeded)
+		}
+		return
+	}
+	// Go-back-N: resend every unacknowledged request packet; incomplete
+	// reads are re-requested (the responder re-executes them and the
+	// requester discards already-received response PSNs).
+	for _, p := range st.pending {
+		s.retransmitFrame(st, p.frame)
+	}
+	s.mq.each(qpn, func(e *mqElement) {
+		if !e.sawLast && !s.hasPending(st, e.FirstPSN) {
+			s.retransmitFrame(st, e.ReqFrame)
+		}
+	})
+	s.armTimer(qpn, st)
+}
+
+func (s *Stack) hasPending(st *qpState, psn uint32) bool {
+	for _, p := range st.pending {
+		if p.psn == psn {
+			return true
+		}
+	}
+	return false
+}

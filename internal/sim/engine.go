@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Event is a scheduled callback. Events with equal timestamps fire in the
+// order they were scheduled (FIFO), which keeps runs deterministic.
+type Event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	dead bool
+	idx  int // heap index, -1 when not queued
+}
+
+// Cancel prevents a pending event from firing. Cancelling an event that
+// already fired (or was already cancelled) is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.dead = true
+	}
+}
+
+// At reports the simulated time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Pending reports whether the event is still queued and not cancelled.
+func (e *Event) Pending() bool { return e != nil && !e.dead && e.idx >= 0 }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event simulator.
+//
+// The zero value is not usable; create engines with NewEngine. Engines are
+// not safe for concurrent use: all scheduling must happen from event
+// callbacks or from process goroutines that hold the run token (see
+// Process).
+type Engine struct {
+	now    Time
+	seq    uint64
+	queue  eventQueue
+	rng    *rand.Rand
+	fired  uint64
+	limit  Time // 0 means no horizon
+	halted bool
+
+	// process support
+	running *Process
+}
+
+// NewEngine returns an engine at time zero with a deterministic RNG seeded
+// by seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Fired reports the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Schedule runs fn after delay d. Negative delays are treated as zero.
+func (e *Engine) Schedule(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.ScheduleAt(e.now.Add(d), fn)
+}
+
+// ScheduleAt runs fn at absolute time t. Times in the past fire "now".
+func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn, idx: -1}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Halt stops the run loop after the current event completes.
+func (e *Engine) Halt() { e.halted = true }
+
+// SetHorizon aborts Run once simulated time would pass t (a safety net
+// against runaway simulations). Zero disables the horizon.
+func (e *Engine) SetHorizon(t Time) { e.limit = t }
+
+// Run executes events until the queue is empty, Halt is called, or the
+// horizon is crossed. It returns the final simulated time.
+func (e *Engine) Run() Time {
+	e.halted = false
+	for len(e.queue) > 0 && !e.halted {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.dead {
+			continue
+		}
+		if e.limit != 0 && ev.at > e.limit {
+			panic(fmt.Sprintf("sim: horizon %v exceeded (event at %v after %d events)", e.limit, ev.at, e.fired))
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunUntil executes events up to and including time t, leaving later
+// events queued. It returns the simulated time reached (t, or earlier if
+// the queue drained).
+func (e *Engine) RunUntil(t Time) Time {
+	for len(e.queue) > 0 {
+		ev := e.queue[0]
+		if ev.dead {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if ev.at > t {
+			e.now = t
+			return e.now
+		}
+		heap.Pop(&e.queue)
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+	}
+	if e.now < t {
+		e.now = t
+	}
+	return e.now
+}
+
+// Pending reports the number of live queued events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}

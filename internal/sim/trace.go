@@ -1,0 +1,43 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+)
+
+// Tracer records timestamped simulation events for debugging and for the
+// determinism property tests. A nil *Tracer is valid and drops everything.
+type Tracer struct {
+	eng  *Engine
+	w    io.Writer
+	recs []string
+	keep bool
+}
+
+// NewTracer returns a tracer bound to eng. If w is non-nil every record is
+// written to it; if keep is true records are also retained in memory.
+func NewTracer(eng *Engine, w io.Writer, keep bool) *Tracer {
+	return &Tracer{eng: eng, w: w, keep: keep}
+}
+
+// Logf records a formatted event at the current simulated time.
+func (t *Tracer) Logf(format string, args ...any) {
+	if t == nil {
+		return
+	}
+	rec := fmt.Sprintf("[%12v] %s", t.eng.Now(), fmt.Sprintf(format, args...))
+	if t.w != nil {
+		fmt.Fprintln(t.w, rec)
+	}
+	if t.keep {
+		t.recs = append(t.recs, rec)
+	}
+}
+
+// Records returns the retained records.
+func (t *Tracer) Records() []string {
+	if t == nil {
+		return nil
+	}
+	return t.recs
+}

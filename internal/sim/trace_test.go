@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Logf("dropped %d", 1) // must not panic
+	if tr.Records() != nil {
+		t.Error("nil tracer has records")
+	}
+}
+
+func TestTracerWriterAndRecords(t *testing.T) {
+	eng := NewEngine(1)
+	var buf bytes.Buffer
+	tr := NewTracer(eng, &buf, true)
+	eng.Schedule(5*Microsecond, func() { tr.Logf("event %s", "x") })
+	eng.Run()
+	out := buf.String()
+	if !strings.Contains(out, "event x") || !strings.Contains(out, "5.00us") {
+		t.Errorf("output = %q", out)
+	}
+	recs := tr.Records()
+	if len(recs) != 1 || !strings.Contains(recs[0], "event x") {
+		t.Errorf("records = %v", recs)
+	}
+}
+
+func TestTracerNoKeep(t *testing.T) {
+	eng := NewEngine(1)
+	tr := NewTracer(eng, nil, false)
+	tr.Logf("x")
+	if len(tr.Records()) != 0 {
+		t.Error("records kept despite keep=false")
+	}
+}

@@ -1,0 +1,69 @@
+// Package testrig assembles the two-machine testbed of §6.1 — two StRoM
+// NICs connected by a direct cable — for use by kernel tests, the
+// experiment harness and the examples.
+package testrig
+
+import (
+	"fmt"
+
+	"strom/internal/core"
+	"strom/internal/fabric"
+	"strom/internal/hostmem"
+	"strom/internal/packet"
+	"strom/internal/roce"
+	"strom/internal/sim"
+)
+
+// Pair is the two-machine testbed. QP 1 on A is connected to QP 2 on B,
+// and each machine has one registered buffer.
+type Pair struct {
+	Eng  *sim.Engine
+	A, B *core.NIC
+	Link *fabric.Link
+	BufA *hostmem.Buffer
+	BufB *hostmem.Buffer
+}
+
+// QPA and QPB are the pre-created queue pair numbers on A and B.
+const (
+	QPA uint32 = 1
+	QPB uint32 = 2
+)
+
+// New builds the testbed: cfg selects the machine profile (10 G or
+// 100 G), linkCfg the cable, bufSize the per-machine registered buffer.
+func New(seed int64, cfg core.Config, linkCfg fabric.LinkConfig, bufSize int) (*Pair, error) {
+	eng := sim.NewEngine(seed)
+	idA := roce.Identity{MAC: packet.MAC{2, 0, 0, 0, 0, 1}, IP: packet.AddrOf(10, 0, 0, 1)}
+	idB := roce.Identity{MAC: packet.MAC{2, 0, 0, 0, 0, 2}, IP: packet.AddrOf(10, 0, 0, 2)}
+	a := core.NewNIC(eng, cfg, idA, nil)
+	b := core.NewNIC(eng, cfg, idB, nil)
+	link := fabric.NewLink(eng, linkCfg, a, b, nil)
+	a.SetTransmit(link.SendFromA)
+	b.SetTransmit(link.SendFromB)
+	if err := a.CreateQP(QPA, idB, QPB); err != nil {
+		return nil, fmt.Errorf("testrig: %w", err)
+	}
+	if err := b.CreateQP(QPB, idA, QPA); err != nil {
+		return nil, fmt.Errorf("testrig: %w", err)
+	}
+	bufA, err := a.AllocBuffer(bufSize)
+	if err != nil {
+		return nil, fmt.Errorf("testrig: %w", err)
+	}
+	bufB, err := b.AllocBuffer(bufSize)
+	if err != nil {
+		return nil, fmt.Errorf("testrig: %w", err)
+	}
+	return &Pair{Eng: eng, A: a, B: b, Link: link, BufA: bufA, BufB: bufB}, nil
+}
+
+// New10G is the common case: the 10 G testbed with 32 MB buffers.
+func New10G(seed int64) (*Pair, error) {
+	return New(seed, core.Profile10G(), fabric.DirectCable10G(), 32<<20)
+}
+
+// New100G is the 100 G testbed with 32 MB buffers.
+func New100G(seed int64) (*Pair, error) {
+	return New(seed, core.Profile100G(), fabric.DirectCable100G(), 32<<20)
+}

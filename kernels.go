@@ -1,0 +1,189 @@
+package strom
+
+import (
+	"strom/internal/core"
+	"strom/internal/fpga"
+	"strom/internal/kernels/consistency"
+	"strom/internal/kernels/filter"
+	"strom/internal/kernels/get"
+	"strom/internal/kernels/hllkernel"
+	"strom/internal/kernels/shuffle"
+	"strom/internal/kernels/traversal"
+	"strom/internal/kvstore"
+)
+
+// The paper's four evaluated kernels plus the Listing 2–4 GET example,
+// re-exported for direct deployment via Machine.DeployKernel. Each kernel
+// package also exposes parameter builders and client helpers; the aliases
+// below make them reachable without importing internal packages.
+
+// Traversal kernel (§6.2): remote data-structure traversal by pointer
+// chasing, parameterised per the paper's Table 2.
+type (
+	// TraversalKernel chases pointers through remote data structures.
+	TraversalKernel = traversal.Kernel
+	// TraversalParams is the Table 2 parameter set.
+	TraversalParams = traversal.Params
+	// TraversalPredicate compares keys (EQUAL, LESS_THAN, ...).
+	TraversalPredicate = traversal.Predicate
+)
+
+// Traversal predicates (Table 2's predicateOpCode).
+const (
+	PredEqual       = traversal.Equal
+	PredLessThan    = traversal.LessThan
+	PredGreaterThan = traversal.GreaterThan
+	PredNotEqual    = traversal.NotEqual
+)
+
+// NewTraversalKernel creates a traversal kernel; maxHops bounds runaway
+// traversals (0 selects the default of 1024).
+func NewTraversalKernel(maxHops int) *TraversalKernel { return traversal.New(maxHops) }
+
+// TraversalLookup posts a traversal RPC from process p over qp and polls
+// for the result (value bytes, or traversal.ErrNotFound).
+func TraversalLookup(p *Process, qp *QueuePair, rpcOp uint64, params TraversalParams) ([]byte, error) {
+	return traversal.Lookup(p, qp.A.nic, qp.QPNA, rpcOp, params)
+}
+
+// GET kernel (Listings 2–4): the hash-table GET example.
+type (
+	// GetKernel is the Listing 2 example kernel.
+	GetKernel = get.Kernel
+	// GetParams is the Listing 3 parameter block.
+	GetParams = get.Params
+)
+
+// NewGetKernel creates the example GET kernel.
+func NewGetKernel() *GetKernel { return get.New() }
+
+// Consistency kernel (§6.3): CRC64-verified remote object retrieval.
+type (
+	// ConsistencyKernel verifies objects on the remote NIC.
+	ConsistencyKernel = consistency.Kernel
+	// ConsistencyParams configures one consistent read.
+	ConsistencyParams = consistency.Params
+)
+
+// NewConsistencyKernel creates a consistency kernel; maxRetries bounds
+// NIC-side re-reads (0 selects the default of 64).
+func NewConsistencyKernel(maxRetries int) *ConsistencyKernel { return consistency.New(maxRetries) }
+
+// ConsistentRead performs a verified read via the kernel on qp.B.
+func ConsistentRead(p *Process, qp *QueuePair, rpcOp uint64, params ConsistencyParams) ([]byte, error) {
+	return consistency.Read(p, qp.A.nic, qp.QPNA, rpcOp, params)
+}
+
+// Shuffle kernel (§6.4): on-the-fly radix partitioning of 8 B tuples.
+type (
+	// ShuffleKernel partitions incoming RDMA streams into host memory.
+	ShuffleKernel = shuffle.Kernel
+	// ShuffleParams carries the histogram (partition descriptor table).
+	ShuffleParams = shuffle.Params
+)
+
+// NewShuffleKernel creates a shuffle kernel (1024 partitions, 16-value
+// on-chip buffers, as in the paper).
+func NewShuffleKernel() *ShuffleKernel { return shuffle.New() }
+
+// Send-side shuffle (the paper's footnote 9): invoked on the local NIC,
+// partitioning data among queue pairs and hence different remote
+// machines, with MTU-sized buffers limiting the partition count.
+type (
+	// ShuffleSendKernel partitions outgoing data among queue pairs.
+	ShuffleSendKernel = shuffle.SendKernel
+	// ShuffleSendParams carries the per-partition (QPN, remote address)
+	// table.
+	ShuffleSendParams = shuffle.SendParams
+)
+
+// NewShuffleSendKernel creates a send-side shuffle kernel.
+func NewShuffleSendKernel() *ShuffleSendKernel { return shuffle.NewSend() }
+
+// ShufflePartition returns the radix partition of a tuple value.
+func ShufflePartition(v uint64, numPartitions uint32) uint32 {
+	return shuffle.Partition(v, numPartitions)
+}
+
+// HLL kernel (§7.2): line-rate cardinality estimation on RDMA streams.
+type (
+	// HLLKernel sketches incoming streams while passing data through.
+	HLLKernel = hllkernel.Kernel
+	// HLLParams selects data/result destinations.
+	HLLParams = hllkernel.Params
+)
+
+// NewHLLKernel creates an HLL kernel with 2^precision registers (0
+// selects 2^14).
+func NewHLLKernel(precision int) (*HLLKernel, error) { return hllkernel.New(precision) }
+
+// Filter/aggregation kernel (the §1 stream-processing use case, after
+// Ibex [55] and histograms-as-a-side-effect [20]): predicate filtering,
+// running aggregates and a radix histogram at line rate.
+type (
+	// FilterKernel filters and aggregates 8 B tuple streams.
+	FilterKernel = filter.Kernel
+	// FilterParams selects predicate, operand and destinations.
+	FilterParams = filter.Params
+	// FilterResult is the aggregate block the kernel posts.
+	FilterResult = filter.Result
+	// FilterPredicate is the filter comparison.
+	FilterPredicate = filter.Predicate
+)
+
+// Filter predicates.
+const (
+	FilterAll         = filter.All
+	FilterEqual       = filter.Equal
+	FilterNotEqual    = filter.NotEqual
+	FilterLessThan    = filter.LessThan
+	FilterGreaterThan = filter.GreaterThan
+)
+
+// NewFilterKernel creates a filter/aggregation kernel.
+func NewFilterKernel() *FilterKernel { return filter.New() }
+
+// DecodeFilterResult parses a result block read from host memory.
+func DecodeFilterResult(data []byte) (FilterResult, error) { return filter.DecodeResult(data) }
+
+// Remote data-structure layouts (Pilaf-style) for building workloads.
+type (
+	// KVRegion is a bump allocator over a registered buffer.
+	KVRegion = kvstore.Region
+	// KVList is a linked list in remote memory (Figure 6).
+	KVList = kvstore.List
+	// KVHashTable is the Pilaf-style 3-bucket hash table.
+	KVHashTable = kvstore.HashTable
+)
+
+// NewKVRegion wraps a machine buffer as a layout region.
+func NewKVRegion(m *Machine, buf *Buffer) *KVRegion {
+	return kvstore.NewRegion(m.nic.Memory(), buf)
+}
+
+// BuildKVList lays out a linked list with the given keys and fixed-size
+// values.
+func BuildKVList(r *KVRegion, keys []uint64, values [][]byte) (*KVList, error) {
+	return kvstore.BuildList(r, keys, values)
+}
+
+// BuildKVHashTable allocates an empty hash table with n fixed entries.
+func BuildKVHashTable(r *KVRegion, n int) (*KVHashTable, error) {
+	return kvstore.BuildHashTable(r, n)
+}
+
+// NICResources reports the base NIC footprint for a machine's profile
+// plus the kernels deployed on it.
+func NICResources(m *Machine) (base, kernels Resources) {
+	cfg := m.nic.Config().Roce
+	base = fpga.NICUsage(fpga.NICParams{DataPathBytes: cfg.DataPathBytes, NumQPs: cfg.NumQPs})
+	return base, m.nic.KernelResources()
+}
+
+var _ core.Kernel = (*FilterKernel)(nil)
+var _ core.Kernel = (*ShuffleSendKernel)(nil)
+var _ core.Kernel = (*TraversalKernel)(nil)
+var _ core.Kernel = (*GetKernel)(nil)
+var _ core.Kernel = (*ConsistencyKernel)(nil)
+var _ core.Kernel = (*ShuffleKernel)(nil)
+var _ core.Kernel = (*HLLKernel)(nil)

@@ -1,0 +1,249 @@
+package strom_test
+
+// Multi-node scenarios: the send-side shuffle of the paper's footnote 9
+// (partitioning among queue pairs and hence different remote machines)
+// over a switch topology.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"strom"
+)
+
+func TestSendSideShuffleAcrossSwitch(t *testing.T) {
+	const (
+		sendOp = 0x06
+		nParts = 8
+		tuples = 8192
+	)
+	cl := strom.NewCluster(9)
+	sender, _ := cl.AddMachine("sender", strom.Profile10G())
+	recv1, _ := cl.AddMachine("recv1", strom.Profile10G())
+	recv2, _ := cl.AddMachine("recv2", strom.Profile10G())
+	sw := cl.AddSwitch(strom.Cable10G(), 500*strom.Nanosecond)
+	sw.Attach(sender)
+	sw.Attach(recv1)
+	sw.Attach(recv2)
+	qp1, err := cl.CreateQueuePair(sender, recv1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp2, err := cl.CreateQueuePair(sender, recv2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kern := strom.NewShuffleSendKernel()
+	if err := sender.DeployKernel(sendOp, kern); err != nil {
+		t.Fatal(err)
+	}
+
+	bufS, _ := sender.AllocBuffer(4 << 20)
+	buf1, _ := recv1.AllocBuffer(4 << 20)
+	buf2, _ := recv2.AllocBuffer(4 << 20)
+
+	// Tuples; even partitions go to recv1, odd to recv2.
+	rng := rand.New(rand.NewSource(4))
+	data := make([]byte, tuples*8)
+	perPart := make([][]uint64, nParts)
+	for i := 0; i < tuples; i++ {
+		v := rng.Uint64()
+		binary.LittleEndian.PutUint64(data[i*8:], v)
+		pid := strom.ShufflePartition(v, nParts)
+		perPart[pid] = append(perPart[pid], v)
+	}
+	if err := sender.Memory().WriteVirt(bufS.Base()+65536, data); err != nil {
+		t.Fatal(err)
+	}
+
+	// The partition table in the SENDER's memory: (QPN, remote VA).
+	const partRegion = 1 << 19
+	table := make([]byte, nParts*16)
+	for pid := 0; pid < nParts; pid++ {
+		var qpn uint32
+		var base uint64
+		if pid%2 == 0 {
+			qpn = qp1.QPNA
+			base = uint64(buf1.Base()) + uint64(pid/2*partRegion)
+		} else {
+			qpn = qp2.QPNA
+			base = uint64(buf2.Base()) + uint64(pid/2*partRegion)
+		}
+		binary.LittleEndian.PutUint32(table[pid*16:], qpn)
+		binary.LittleEndian.PutUint64(table[pid*16+8:], base)
+	}
+	if err := sender.Memory().WriteVirt(bufS.Base(), table); err != nil {
+		t.Fatal(err)
+	}
+	completion := bufS.Base() + 32768
+
+	cl.Go("sender", func(p *strom.Process) {
+		params := strom.ShuffleSendParams{
+			TableAddress:      uint64(bufS.Base()),
+			NumPartitions:     nParts,
+			CompletionAddress: uint64(completion),
+		}
+		if err := sender.InvokeLocalSync(p, sendOp, qp1.QPNA, params.Encode()); err != nil {
+			t.Errorf("invoke: %v", err)
+			return
+		}
+		if err := sender.StreamLocalSync(p, sendOp, qp1.QPNA, uint64(bufS.Base())+65536, len(data)); err != nil {
+			t.Errorf("stream: %v", err)
+			return
+		}
+		count, err := sender.Memory().PollNonZeroWord(p, completion)
+		if err != nil {
+			t.Errorf("completion: %v", err)
+			return
+		}
+		if count != tuples {
+			t.Errorf("completion count = %d", count)
+		}
+	})
+	cl.Run()
+
+	// Verify tuple placement on both receivers.
+	for pid := 0; pid < nParts; pid++ {
+		m := recv1
+		base := strom.Addr(uint64(buf1.Base()) + uint64(pid/2*partRegion))
+		if pid%2 == 1 {
+			m = recv2
+			base = strom.Addr(uint64(buf2.Base()) + uint64(pid/2*partRegion))
+		}
+		want := perPart[pid]
+		got, err := m.Memory().ReadVirt(base, len(want)*8)
+		if err != nil {
+			t.Fatalf("partition %d: %v", pid, err)
+		}
+		for i, w := range want {
+			if v := binary.LittleEndian.Uint64(got[i*8:]); v != w {
+				t.Fatalf("partition %d tuple %d: %#x != %#x", pid, i, v, w)
+			}
+		}
+	}
+	if kern.Stats().Tuples != tuples {
+		t.Errorf("kernel tuples = %d", kern.Stats().Tuples)
+	}
+}
+
+func TestIncastThroughBoundedSwitch(t *testing.T) {
+	// Two senders blast one receiver through a switch with a 32-frame
+	// egress queue: frames tail-drop, RoCE go-back-N recovers, and every
+	// byte still lands correctly — at the cost of retransmissions.
+	cl := strom.NewCluster(17)
+	s1, _ := cl.AddMachine("s1", strom.Profile10G())
+	s2, _ := cl.AddMachine("s2", strom.Profile10G())
+	recv, _ := cl.AddMachine("recv", strom.Profile10G())
+	sw := cl.AddSwitch(strom.Cable10G(), 500*strom.Nanosecond)
+	sw.Attach(s1)
+	sw.Attach(s2)
+	sw.Attach(recv)
+	sw.SetEgressQueue(32)
+	qp1, err := cl.CreateQueuePair(s1, recv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp2, err := cl.CreateQueuePair(s2, recv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := s1.AllocBuffer(4 << 20)
+	b2, _ := s2.AllocBuffer(4 << 20)
+	br, _ := recv.AllocBuffer(8 << 20)
+	const n = 1 << 20
+	d1 := make([]byte, n)
+	d2 := make([]byte, n)
+	rand.New(rand.NewSource(1)).Read(d1)
+	rand.New(rand.NewSource(2)).Read(d2)
+	if err := s1.Memory().WriteVirt(b1.Base(), d1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Memory().WriteVirt(b2.Base(), d2); err != nil {
+		t.Fatal(err)
+	}
+	done := 0
+	cl.Go("s1", func(p *strom.Process) {
+		if err := qp1.WriteSync(p, uint64(b1.Base()), uint64(br.Base()), n); err != nil {
+			t.Errorf("s1: %v", err)
+			return
+		}
+		done++
+	})
+	cl.Go("s2", func(p *strom.Process) {
+		if err := qp2.WriteSync(p, uint64(b2.Base()), uint64(br.Base())+n, n); err != nil {
+			t.Errorf("s2: %v", err)
+			return
+		}
+		done++
+	})
+	cl.Run()
+	if done != 2 {
+		t.Fatalf("completions = %d", done)
+	}
+	if sw.Dropped(recv) == 0 {
+		t.Error("no incast drops despite the bounded queue")
+	}
+	g1, _ := recv.Memory().ReadVirt(br.Base(), n)
+	g2, _ := recv.Memory().ReadVirt(br.Base()+n, n)
+	if !bytes.Equal(g1, d1) || !bytes.Equal(g2, d2) {
+		t.Error("incast corrupted data")
+	}
+	retr := s1.NIC().Stack().Stats().Retransmissions + s2.NIC().Stack().Stats().Retransmissions
+	if retr == 0 {
+		t.Error("no retransmissions despite drops")
+	}
+}
+
+func TestSwitchThreeWayTraffic(t *testing.T) {
+	// Plain writes between three machines through the switch.
+	cl := strom.NewCluster(10)
+	ms := make([]*strom.Machine, 3)
+	for i := range ms {
+		m, err := cl.AddMachine(string(rune('a'+i)), strom.Profile10G())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms[i] = m
+	}
+	sw := cl.AddSwitch(strom.Cable10G(), 500*strom.Nanosecond)
+	bufs := make([]*strom.Buffer, 3)
+	for i, m := range ms {
+		sw.Attach(m)
+		b, err := m.AllocBuffer(1 << 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bufs[i] = b
+	}
+	qps := make([]*strom.QueuePair, 3)
+	for i := range ms {
+		qp, err := cl.CreateQueuePair(ms[i], ms[(i+1)%3])
+		if err != nil {
+			t.Fatal(err)
+		}
+		qps[i] = qp
+	}
+	// Each machine writes its index+1 to its ring successor.
+	for i := range ms {
+		i := i
+		cl.Go("w", func(p *strom.Process) {
+			src := bufs[i].Base() + 4096
+			if err := ms[i].Memory().WriteVirt(src, []byte{byte(i + 1)}); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := qps[i].WriteSync(p, uint64(src), uint64(bufs[(i+1)%3].Base()), 1); err != nil {
+				t.Errorf("write %d: %v", i, err)
+			}
+		})
+	}
+	cl.Run()
+	for i := range ms {
+		got, _ := ms[(i+1)%3].Memory().ReadVirt(bufs[(i+1)%3].Base(), 1)
+		if got[0] != byte(i+1) {
+			t.Errorf("machine %d did not receive from %d", (i+1)%3, i)
+		}
+	}
+}
