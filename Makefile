@@ -1,0 +1,25 @@
+GO ?= go
+
+# Packages where goroutines actually run concurrently (the parallel
+# experiment harness and everything its workers touch); the race pass
+# covers these on top of the full regular suite.
+RACE_PKGS = ./internal/sim ./internal/fabric ./internal/experiments
+
+.PHONY: check vet build test race bench
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -bench=. -benchmem .

@@ -128,6 +128,25 @@ func BenchmarkFig13bHLLStRoM(b *testing.B) {
 	reportPoint(b, fig, "StRoM: Write", "16KB", "gbps")
 }
 
+// Whole-suite benches: the figure set through the worker-pool harness,
+// serial vs parallel (the speedup shows up with GOMAXPROCS > 1).
+
+func benchmarkAllFigures(b *testing.B, parallelism int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		for _, r := range experiments.RunGenerators(experiments.Figures(), benchOpts(), parallelism) {
+			if r.Err != nil {
+				b.Fatalf("%s: %v", r.Name, r.Err)
+			}
+		}
+	}
+}
+
+func BenchmarkAllFiguresSerial(b *testing.B) { benchmarkAllFigures(b, 1) }
+func BenchmarkAllFiguresParallel(b *testing.B) {
+	benchmarkAllFigures(b, experiments.DefaultParallelism())
+}
+
 // Ablation benches: design-parameter sweeps (see DESIGN.md §7).
 
 func BenchmarkAblationDoorbell(b *testing.B) {

@@ -4,11 +4,16 @@
 // Usage:
 //
 //	strombench -list
-//	strombench [-quick|-full] [-seed N] [-csv DIR] [exp ...]
+//	strombench [-quick|-full] [-seed N] [-j N] [-csv DIR] [exp ...]
 //
 // With no experiment names, everything runs in paper order followed by
 // the ablations. Experiment names are table1, table2, table3, resources,
 // fig5a...fig13b, and abl-*.
+//
+// Figure generators are independent simulations, so -j runs them on a
+// worker pool. Results are printed in request order and each generator
+// is a pure function of (options, seed), so stdout is byte-identical at
+// every -j value; per-experiment timing goes to stderr.
 package main
 
 import (
@@ -25,6 +30,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced iteration counts (smoke test)")
 	full := flag.Bool("full", false, "paper-scale inputs (Fig. 11 runs the real 128-1024 MB)")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	jobs := flag.Int("j", experiments.DefaultParallelism(), "experiment generators to run in parallel")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	csvDir := flag.String("csv", "", "also write each figure as CSV into this directory")
 	flag.Parse()
@@ -47,54 +53,74 @@ func main() {
 	opts.Seed = *seed
 
 	names := flag.Args()
+	preamble := false
 	if len(names) == 0 {
+		preamble = true // whole suite: lead with the static tables
 		for _, g := range append(experiments.Figures(), experiments.Ablations()...) {
 			names = append(names, g.Name)
 		}
+	}
+
+	if err := run(names, opts, *jobs, *csvDir, preamble); err != nil {
+		fmt.Fprintln(os.Stderr, "strombench:", err)
+		os.Exit(1)
+	}
+}
+
+// run resolves names into tables (rendered inline) and generators
+// (executed on the worker pool), then prints everything in request
+// order.
+func run(names []string, opts experiments.Options, jobs int, csvDir string, preamble bool) error {
+	byName := make(map[string]experiments.Generator)
+	for _, g := range append(experiments.Figures(), experiments.Ablations()...) {
+		byName[g.Name] = g
+	}
+
+	tables := map[string]func() string{
+		"table1":    experiments.Table1,
+		"table2":    experiments.Table2,
+		"table3":    experiments.Table3,
+		"resources": experiments.ResourceReport,
+	}
+	var gens []experiments.Generator
+	for _, name := range names {
+		if _, ok := tables[name]; ok {
+			continue
+		}
+		g, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try -list)", name)
+		}
+		gens = append(gens, g)
+	}
+
+	results := make(map[string]experiments.Result, len(gens))
+	for _, r := range experiments.RunGenerators(gens, opts, jobs) {
+		if r.Err != nil {
+			return fmt.Errorf("%s: %w", r.Name, r.Err)
+		}
+		results[r.Name] = r
+	}
+
+	if preamble {
 		fmt.Println(experiments.Table1())
 		fmt.Println(experiments.Table2())
 		fmt.Println(experiments.ResourceReport())
 	}
 	for _, name := range names {
-		if err := runOne(name, opts, *csvDir); err != nil {
-			fmt.Fprintln(os.Stderr, "strombench:", err)
-			os.Exit(1)
+		if render, ok := tables[name]; ok {
+			fmt.Println(render())
+			continue
+		}
+		r := results[name]
+		fmt.Println(r.Fig.String())
+		fmt.Fprintf(os.Stderr, "(%s generated in %v)\n", name, r.Elapsed.Round(time.Millisecond))
+		if csvDir != "" {
+			path := filepath.Join(csvDir, name+".csv")
+			if err := os.WriteFile(path, []byte(r.Fig.CSV()), 0o644); err != nil {
+				return fmt.Errorf("%s: writing CSV: %w", name, err)
+			}
 		}
 	}
-}
-
-func runOne(name string, opts experiments.Options, csvDir string) error {
-	switch name {
-	case "table1":
-		fmt.Println(experiments.Table1())
-		return nil
-	case "table2":
-		fmt.Println(experiments.Table2())
-		return nil
-	case "table3":
-		fmt.Println(experiments.Table3())
-		return nil
-	case "resources":
-		fmt.Println(experiments.ResourceReport())
-		return nil
-	}
-	for _, g := range append(experiments.Figures(), experiments.Ablations()...) {
-		if g.Name == name {
-			start := time.Now()
-			fig, err := g.Run(opts)
-			if err != nil {
-				return fmt.Errorf("%s: %w", name, err)
-			}
-			fmt.Println(fig.String())
-			fmt.Printf("(%s generated in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
-			if csvDir != "" {
-				path := filepath.Join(csvDir, name+".csv")
-				if err := os.WriteFile(path, []byte(fig.CSV()), 0o644); err != nil {
-					return fmt.Errorf("%s: writing CSV: %w", name, err)
-				}
-			}
-			return nil
-		}
-	}
-	return fmt.Errorf("unknown experiment %q (try -list)", name)
+	return nil
 }

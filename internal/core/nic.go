@@ -109,12 +109,15 @@ func NewNIC(eng *sim.Engine, cfg Config, id roce.Identity, tracer *sim.Tracer) *
 func (n *NIC) SetTransmit(fn func([]byte)) { n.transmit = fn }
 
 // DeliverFrame implements fabric.Endpoint: ARP frames go to the ARP
-// module, everything else to the RoCE stack (§4.1).
+// module, everything else to the RoCE stack (§4.1). The NIC owns the
+// delivered frame; ARP frames are fully consumed here and recycled,
+// RoCE frames are recycled by the stack after RX processing.
 func (n *NIC) DeliverFrame(frame []byte) {
 	if arp.IsARPFrame(frame) {
 		if err := n.arp.HandleFrame(frame); err != nil {
 			n.tracer.Logf("nic: arp: %v", err)
 		}
+		packet.PutBuf(frame)
 		return
 	}
 	n.stack.DeliverFrame(frame)

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"strom/internal/stats"
+)
+
+// The experiment harness runs generators concurrently. This is safe
+// because every generator is a pure function of its Options: each one
+// builds a private sim.Engine (seeded from Options.Seed) and a private
+// testbed on top of it, and the packages underneath share only immutable
+// state (error values, CRC tables) plus the packet frame pool, whose
+// buffers are fully rewritten before use. Determinism is therefore
+// per-engine, and the output of a run is byte-identical at any
+// parallelism level.
+
+// Result is the outcome of one generator run.
+type Result struct {
+	Name    string
+	Fig     *stats.Figure
+	Err     error
+	Elapsed time.Duration
+}
+
+// DefaultParallelism is the worker count used when the caller does not
+// choose one: the number of CPUs the Go runtime will actually use.
+func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
+
+// RunGenerators runs every generator with at most parallelism workers
+// and returns the results in input order. parallelism < 1 is treated
+// as 1; each generator still sees the same Options, so results do not
+// depend on the worker count.
+func RunGenerators(gens []Generator, o Options, parallelism int) []Result {
+	results := make([]Result, len(gens))
+	if parallelism > len(gens) {
+		parallelism = len(gens)
+	}
+	if parallelism <= 1 {
+		for i, g := range gens {
+			results[i] = runGenerator(g, o)
+		}
+		return results
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = runGenerator(gens[i], o)
+			}
+		}()
+	}
+	for i := range gens {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+func runGenerator(g Generator, o Options) Result {
+	start := time.Now()
+	fig, err := g.Run(o)
+	return Result{Name: g.Name, Fig: fig, Err: err, Elapsed: time.Since(start)}
+}
+
+// RunAll regenerates every table, figure and ablation, writing text to w
+// in paper order. Generators run on up to parallelism workers; the
+// output is identical for every parallelism value.
+func RunAll(o Options, parallelism int, w io.Writer) error {
+	fmt.Fprintln(w, Table1())
+	fmt.Fprintln(w, Table2())
+	fmt.Fprintln(w, ResourceReport())
+	for _, r := range RunGenerators(append(Figures(), Ablations()...), o, parallelism) {
+		if r.Err != nil {
+			return fmt.Errorf("%s: %w", r.Name, r.Err)
+		}
+		fmt.Fprintln(w, r.Fig.String())
+	}
+	return nil
+}

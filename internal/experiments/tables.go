@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"io"
 	"strings"
 
 	"strom/internal/fpga"
@@ -117,19 +116,4 @@ func Figures() []Generator {
 		{"fig13a", Fig13aHLLCPU},
 		{"fig13b", Fig13bHLLStRoM},
 	}
-}
-
-// RunAll regenerates every table, figure and ablation, writing text to w.
-func RunAll(o Options, w io.Writer) error {
-	fmt.Fprintln(w, Table1())
-	fmt.Fprintln(w, Table2())
-	fmt.Fprintln(w, ResourceReport())
-	for _, g := range append(Figures(), Ablations()...) {
-		fig, err := g.Run(o)
-		if err != nil {
-			return fmt.Errorf("%s: %w", g.Name, err)
-		}
-		fmt.Fprintln(w, fig.String())
-	}
-	return nil
 }

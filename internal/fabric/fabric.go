@@ -15,7 +15,9 @@ import (
 // Endpoint receives frames from the fabric.
 type Endpoint interface {
 	// DeliverFrame hands an encoded Ethernet frame to the endpoint at the
-	// simulated time it fully arrives.
+	// simulated time it fully arrives. Ownership of the frame transfers
+	// to the endpoint: the fabric never touches it again, so the endpoint
+	// may recycle it through packet.PutBuf once fully consumed.
 	DeliverFrame(frame []byte)
 }
 
@@ -61,7 +63,9 @@ func (d *direction) send(frame []byte) {
 		d.tracer.Logf("fabric: dropped frame (%d bytes)", len(frame))
 		return
 	}
-	buf := append([]byte(nil), frame...)
+	// Senders may retain (and retransmit) their frame buffer, so each
+	// hop travels in its own pooled copy, owned by the receiver.
+	buf := packet.CloneFrame(frame)
 	if d.imp.CorruptProb > 0 && d.eng.Rand().Float64() < d.imp.CorruptProb {
 		d.stats.Corrupted++
 		pos := d.eng.Rand().Intn(len(buf))
@@ -183,8 +187,13 @@ func (s *Switch) AttachPort(mac packet.MAC, ep Endpoint) func(frame []byte) {
 	ingress := sim.NewSerializer(s.eng)
 	return func(frame []byte) {
 		end := ingress.Reserve(sim.BytesAt(len(frame)+packet.EthFramingOverhead, s.cfg.BandwidthGbps))
-		buf := append([]byte(nil), frame...)
-		s.eng.ScheduleAt(end.Add(s.cfg.Propagation+s.latency), func() { s.forward(buf) })
+		buf := packet.CloneFrame(frame)
+		s.eng.ScheduleAt(end.Add(s.cfg.Propagation+s.latency), func() {
+			// forward re-clones for the egress wire, so the ingress
+			// copy can be recycled as soon as it returns.
+			s.forward(buf)
+			packet.PutBuf(buf)
+		})
 	}
 }
 

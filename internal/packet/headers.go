@@ -139,8 +139,21 @@ func (p *Packet) Words(wordBytes int) int {
 }
 
 // Encode serializes the packet, computing the IPv4 checksum and the ICRC.
-func (p *Packet) Encode() []byte {
-	buf := make([]byte, p.BufferLen())
+func (p *Packet) Encode() []byte { return p.EncodeTo(nil) }
+
+// EncodeTo serializes the packet into buf, reusing its capacity when
+// large enough (buf may be nil or empty; pair with GetBuf/PutBuf to
+// recycle frame buffers). The returned slice aliases buf's backing
+// array when capacity sufficed. Every byte of the returned frame is
+// written, including the minimum-frame padding, so recycled buffers
+// never leak stale bytes into encoded frames.
+func (p *Packet) EncodeTo(buf []byte) []byte {
+	n := p.BufferLen()
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
 	// Ethernet.
 	copy(buf[0:6], p.DstMAC[:])
 	copy(buf[6:12], p.SrcMAC[:])
@@ -206,6 +219,10 @@ func (p *Packet) Encode() []byte {
 	// ICRC over the IB transport headers and payload.
 	icrc := crc.Checksum32(ib[:off])
 	binary.BigEndian.PutUint32(ib[off:off+4], icrc)
+	// Zero the minimum-frame padding (reused buffers carry old bytes).
+	for i := EthHeaderLen + totalLen; i < n; i++ {
+		buf[i] = 0
+	}
 	return buf
 }
 

@@ -67,7 +67,7 @@ type Stack struct {
 	mq     *multiQueue
 	rxPath *sim.Serializer
 	txPath *sim.Serializer
-	timers []*sim.Event
+	timers []sim.Event
 
 	stats Stats
 }
@@ -86,7 +86,7 @@ func NewStack(eng *sim.Engine, cfg Config, id Identity, handler Handler, transmi
 		mq:       newMultiQueue(cfg.NumQPs, cfg.MultiQueuePool, cfg.ReadDepthPerQP),
 		rxPath:   sim.NewSerializer(eng),
 		txPath:   sim.NewSerializer(eng),
-		timers:   make([]*sim.Event, cfg.NumQPs),
+		timers:   make([]sim.Event, cfg.NumQPs),
 	}
 }
 
@@ -110,27 +110,47 @@ func (s *Stack) CreateQP(qpn uint32, remote Identity, remoteQPN uint32) error {
 // --- transmit path -------------------------------------------------------
 
 // send runs a packet through the TX pipeline and returns the encoded
-// frame (retained by callers that may need to retransmit it).
+// frame (retained by callers that may need to retransmit it, so the
+// buffer is heap-allocated, never pooled).
 func (s *Stack) send(st *qpState, pkt *packet.Packet) []byte {
+	s.address(st, pkt)
+	frame := pkt.Encode()
+	s.sendFrame(st, frame, pkt.Words(s.cfg.DataPathBytes), false)
+	return frame
+}
+
+// sendTransient transmits a packet whose frame is never retained for
+// retransmission (ACKs, NAKs, read responses — the responder's entire
+// output): the encode buffer comes from the frame pool and returns to
+// it as soon as the frame has left for the fabric, which copies it.
+func (s *Stack) sendTransient(st *qpState, pkt *packet.Packet) {
+	s.address(st, pkt)
+	frame := pkt.EncodeTo(packet.GetBuf())
+	s.sendFrame(st, frame, pkt.Words(s.cfg.DataPathBytes), true)
+}
+
+// address fills in the Ethernet/IP addressing for a QP's peer.
+func (s *Stack) address(st *qpState, pkt *packet.Packet) {
 	pkt.SrcMAC = s.id.MAC
 	pkt.DstMAC = st.remote.MAC
 	pkt.SrcIP = s.id.IP
 	pkt.DstIP = st.remote.IP
-	frame := pkt.Encode()
-	s.sendFrame(st, frame, pkt.Words(s.cfg.DataPathBytes))
-	return frame
 }
 
 // sendFrame reserves the TX data path and hands the frame to the fabric.
 // The QP's activity counter is bumped when the frame actually leaves, so
 // the retransmission timer never expires while a long message is still
-// draining through the pipeline.
-func (s *Stack) sendFrame(st *qpState, frame []byte, words int) {
+// draining through the pipeline. With recycle, the frame buffer goes
+// back to the pool once transmitted (the fabric copies frames on send).
+func (s *Stack) sendFrame(st *qpState, frame []byte, words int, recycle bool) {
 	end := s.txPath.Reserve(s.cfg.Cycles(words))
 	s.eng.ScheduleAt(end.Add(s.cfg.Cycles(s.cfg.TxFixedCycles)), func() {
 		s.stats.TxPackets++
 		st.progress++
 		s.transmit(frame)
+		if recycle {
+			packet.PutBuf(frame)
+		}
 	})
 }
 
@@ -138,7 +158,7 @@ func (s *Stack) sendFrame(st *qpState, frame []byte, words int) {
 func (s *Stack) retransmitFrame(st *qpState, frame []byte) {
 	words := (len(frame) + s.cfg.DataPathBytes - 1) / s.cfg.DataPathBytes
 	s.stats.Retransmissions++
-	s.sendFrame(st, frame, words)
+	s.sendFrame(st, frame, words, false)
 }
 
 // --- requester verbs ------------------------------------------------------
@@ -232,7 +252,8 @@ func (s *Stack) PostRead(qpn uint32, remoteVA uint64, n int, sink ReadSink, done
 
 // DeliverFrame is the fabric-facing entry point: the frame flows through
 // the RX pipeline (store-and-forward for ICRC validation at one data-path
-// word per cycle, then the parsing/PSN-check stages).
+// word per cycle, then the parsing/PSN-check stages). The stack takes
+// ownership of the frame and recycles its buffer after processing.
 func (s *Stack) DeliverFrame(frame []byte) {
 	words := (len(frame) + s.cfg.DataPathBytes - 1) / s.cfg.DataPathBytes
 	end := s.rxPath.Reserve(s.cfg.Cycles(words))
@@ -240,6 +261,9 @@ func (s *Stack) DeliverFrame(frame []byte) {
 }
 
 func (s *Stack) process(frame []byte) {
+	// Decode copies the payload out, so the frame buffer is dead once
+	// this packet has been handled.
+	defer packet.PutBuf(frame)
 	pkt, err := packet.Decode(frame)
 	if err != nil {
 		// The Packet Dropper discards malformed packets; reliability
@@ -277,7 +301,7 @@ func (s *Stack) handleRequest(qpn uint32, st *qpState, pkt *packet.Packet) {
 		if !st.nakSent {
 			st.nakSent = true
 			s.stats.NaksSent++
-			s.send(st, packet.Ack(st.remoteQPN, st.ePSN, packet.SynNAKSequence, st.msn))
+			s.sendTransient(st, packet.Ack(st.remoteQPN, st.ePSN, packet.SynNAKSequence, st.msn))
 		}
 		return
 	case d < 0:
@@ -286,12 +310,15 @@ func (s *Stack) handleRequest(qpn uint32, st *qpState, pkt *packet.Packet) {
 		// have been lost).
 		s.stats.RxDuplicates++
 		if pkt.BTH.Opcode == packet.OpReadRequest {
-			if rr, ok := st.recentRds[pkt.BTH.PSN]; ok {
+			// The cache window is enforced by age here, not by sweep
+			// timing, so hits are a deterministic function of the PSN
+			// distance alone.
+			if rr, ok := st.recentRds[pkt.BTH.PSN]; ok && -d <= int32(8*s.cfg.ReadDepthPerQP) {
 				s.executeRead(qpn, st, rr.va, rr.n, rr.resp)
 			}
 			return
 		}
-		s.send(st, packet.Ack(st.remoteQPN, psnAdd(st.ePSN, psnMask), packet.SynACK, st.msn))
+		s.sendTransient(st, packet.Ack(st.remoteQPN, psnAdd(st.ePSN, psnMask), packet.SynACK, st.msn))
 		s.stats.AcksSent++
 		return
 	}
@@ -310,8 +337,10 @@ func (s *Stack) handleRequest(qpn uint32, st *qpState, pkt *packet.Packet) {
 		npsn := uint32(packet.NumSegments(n, s.cfg.MTUPayload))
 		rr := recentRead{va: pkt.RETH.VirtualAddress, n: n, resp: pkt.BTH.PSN}
 		st.recentRds[pkt.BTH.PSN] = rr
-		if len(st.recentRds) > 4*s.cfg.ReadDepthPerQP {
-			// Bounded cache, like the on-chip structure it models.
+		if len(st.recentRds) > 16*s.cfg.ReadDepthPerQP {
+			// Bounded cache, like the on-chip structure it models. Stale
+			// entries are rejected at lookup by age, so this sweep only
+			// bounds memory and runs rarely (amortized O(1) per read).
 			for k := range st.recentRds {
 				if psnDiff(st.ePSN, k) > int32(8*s.cfg.ReadDepthPerQP) {
 					delete(st.recentRds, k)
@@ -341,7 +370,7 @@ func (s *Stack) execWrite(qpn uint32, st *qpState, pkt *packet.Packet) {
 	}
 	if pkt.BTH.AckReq {
 		s.stats.AcksSent++
-		s.send(st, packet.Ack(st.remoteQPN, pkt.BTH.PSN, packet.SynACK, st.msn))
+		s.sendTransient(st, packet.Ack(st.remoteQPN, pkt.BTH.PSN, packet.SynACK, st.msn))
 	}
 }
 
@@ -356,7 +385,7 @@ func (s *Stack) execRPCWrite(qpn uint32, st *qpState, pkt *packet.Packet) {
 	err := s.handler.HandleRPCWrite(qpn, st.curRPCOp, pkt.Payload, last)
 	if err != nil {
 		s.stats.NaksSent++
-		s.send(st, packet.Ack(st.remoteQPN, pkt.BTH.PSN, packet.SynNAKInvalid, st.msn))
+		s.sendTransient(st, packet.Ack(st.remoteQPN, pkt.BTH.PSN, packet.SynNAKInvalid, st.msn))
 		return
 	}
 	if last {
@@ -364,7 +393,7 @@ func (s *Stack) execRPCWrite(qpn uint32, st *qpState, pkt *packet.Packet) {
 	}
 	if pkt.BTH.AckReq {
 		s.stats.AcksSent++
-		s.send(st, packet.Ack(st.remoteQPN, pkt.BTH.PSN, packet.SynACK, st.msn))
+		s.sendTransient(st, packet.Ack(st.remoteQPN, pkt.BTH.PSN, packet.SynACK, st.msn))
 	}
 }
 
@@ -375,23 +404,23 @@ func (s *Stack) execRPCParams(qpn uint32, st *qpState, pkt *packet.Packet) {
 		// No matching kernel and no CPU fallback: error back to the
 		// requesting node (§5.1).
 		s.stats.NaksSent++
-		s.send(st, packet.Ack(st.remoteQPN, pkt.BTH.PSN, packet.SynNAKInvalid, st.msn))
+		s.sendTransient(st, packet.Ack(st.remoteQPN, pkt.BTH.PSN, packet.SynNAKInvalid, st.msn))
 		return
 	}
 	st.msn = (st.msn + 1) & psnMask
 	s.stats.AcksSent++
-	s.send(st, packet.Ack(st.remoteQPN, pkt.BTH.PSN, packet.SynACK, st.msn))
+	s.sendTransient(st, packet.Ack(st.remoteQPN, pkt.BTH.PSN, packet.SynACK, st.msn))
 }
 
 func (s *Stack) executeRead(qpn uint32, st *qpState, va uint64, n int, respPSN uint32) {
 	s.handler.HandleReadRequest(qpn, va, n, func(data []byte, err error) {
 		if err != nil {
 			s.stats.NaksSent++
-			s.send(st, packet.Ack(st.remoteQPN, respPSN, packet.SynNAKInvalid, st.msn))
+			s.sendTransient(st, packet.Ack(st.remoteQPN, respPSN, packet.SynNAKInvalid, st.msn))
 			return
 		}
 		for _, rp := range packet.ReadResponse(st.remoteQPN, respPSN, st.msn, data, s.cfg.MTUPayload) {
-			s.send(st, rp)
+			s.sendTransient(st, rp)
 		}
 	})
 }
@@ -532,13 +561,11 @@ func (s *Stack) removeReadPending(st *qpState, firstPSN uint32) {
 // timers restarted on activity), without rescheduling per packet.
 func (s *Stack) armTimer(qpn uint32, st *qpState) {
 	if len(st.pending) == 0 && s.mq.len(qpn) == 0 {
-		if s.timers[qpn] != nil {
-			s.timers[qpn].Cancel()
-			s.timers[qpn] = nil
-		}
+		s.timers[qpn].Cancel()
+		s.timers[qpn] = sim.Event{}
 		return
 	}
-	if s.timers[qpn] != nil && s.timers[qpn].Pending() {
+	if s.timers[qpn].Pending() {
 		return
 	}
 	snap := st.progress
@@ -546,7 +573,7 @@ func (s *Stack) armTimer(qpn uint32, st *qpState) {
 }
 
 func (s *Stack) onTimeout(qpn uint32, st *qpState, snap uint64) {
-	s.timers[qpn] = nil
+	s.timers[qpn] = sim.Event{}
 	if len(st.pending) == 0 && s.mq.len(qpn) == 0 {
 		return
 	}

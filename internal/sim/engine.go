@@ -1,74 +1,88 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
 
-// Event is a scheduled callback. Events with equal timestamps fire in the
-// order they were scheduled (FIFO), which keeps runs deterministic.
-type Event struct {
+// event is the heap-internal representation of a scheduled callback.
+// Structs are recycled through the engine's free list once they fire or
+// are compacted away, so steady-state scheduling does not allocate;
+// outstanding Event handles are invalidated by the generation counter.
+type event struct {
 	at   Time
 	seq  uint64
 	fn   func()
+	eng  *Engine
+	gen  uint32
+	idx  int32 // position in the heap, -1 when not queued
 	dead bool
-	idx  int // heap index, -1 when not queued
 }
+
+// Event is a generation-checked handle to a scheduled callback. Handles
+// are values: copy them freely. The zero Event is an inert handle —
+// Cancel is a no-op and Pending reports false. A handle whose event has
+// fired (or was cancelled and reclaimed) becomes stale and behaves like
+// the zero handle, so holding on to a handle past its event's lifetime
+// is always safe even though the engine recycles event structs.
+type Event struct {
+	e   *event
+	gen uint32
+}
+
+// valid reports whether the handle still names its original event.
+func (ev Event) valid() bool { return ev.e != nil && ev.e.gen == ev.gen }
 
 // Cancel prevents a pending event from firing. Cancelling an event that
-// already fired (or was already cancelled) is a no-op.
-func (e *Event) Cancel() {
-	if e != nil {
-		e.dead = true
+// already fired (or was already cancelled) is a no-op. The event stays
+// queued but inert until the run loop skips it or a compaction sweep
+// reclaims it.
+func (ev Event) Cancel() {
+	e := ev.e
+	if e == nil || e.gen != ev.gen || e.dead || e.idx < 0 {
+		return
+	}
+	e.dead = true
+	eng := e.eng
+	eng.ndead++
+	// Compact when over half the queue is dead so mass cancellation
+	// cannot grow the heap unboundedly.
+	if eng.ndead*2 > len(eng.heap) {
+		eng.compact()
 	}
 }
 
-// At reports the simulated time the event is scheduled for.
-func (e *Event) At() Time { return e.at }
+// At reports the simulated time the event is scheduled for (zero for a
+// stale or zero handle).
+func (ev Event) At() Time {
+	if !ev.valid() {
+		return 0
+	}
+	return ev.e.at
+}
 
 // Pending reports whether the event is still queued and not cancelled.
-func (e *Event) Pending() bool { return e != nil && !e.dead && e.idx >= 0 }
+func (ev Event) Pending() bool {
+	return ev.valid() && !ev.e.dead && ev.e.idx >= 0
+}
 
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*q = old[:n-1]
-	return e
-}
+// maxFreeEvents bounds the engine's event free list; beyond this, fired
+// events are left for the garbage collector.
+const maxFreeEvents = 1 << 16
 
 // Engine is a deterministic discrete-event simulator.
 //
-// The zero value is not usable; create engines with NewEngine. Engines are
-// not safe for concurrent use: all scheduling must happen from event
+// The zero value is not usable; create engines with NewEngine. Engines
+// are not safe for concurrent use: all scheduling must happen from event
 // callbacks or from process goroutines that hold the run token (see
-// Process).
+// Process). Distinct engines are fully independent, so concurrent
+// simulations on separate engines (one per goroutine) stay deterministic.
 type Engine struct {
 	now    Time
 	seq    uint64
-	queue  eventQueue
+	heap   []*event // 4-ary min-heap ordered by (at, seq)
+	ndead  int      // cancelled events still occupying heap slots
+	free   []*event // recycled event structs
 	rng    *rand.Rand
 	fired  uint64
 	limit  Time // 0 means no horizon
@@ -94,7 +108,7 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Schedule runs fn after delay d. Negative delays are treated as zero.
-func (e *Engine) Schedule(d Duration, fn func()) *Event {
+func (e *Engine) Schedule(d Duration, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
@@ -102,14 +116,137 @@ func (e *Engine) Schedule(d Duration, fn func()) *Event {
 }
 
 // ScheduleAt runs fn at absolute time t. Times in the past fire "now".
-func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
+// Events with equal timestamps fire in the order they were scheduled
+// (FIFO), which keeps runs deterministic.
+func (e *Engine) ScheduleAt(t Time, fn func()) Event {
 	if t < e.now {
 		t = e.now
 	}
 	e.seq++
-	ev := &Event{at: t, seq: e.seq, fn: fn, idx: -1}
-	heap.Push(&e.queue, ev)
-	return ev
+	ev := e.alloc()
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.dead = false
+	e.push(ev)
+	return Event{e: ev, gen: ev.gen}
+}
+
+// alloc takes an event struct from the free list, or makes one.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{eng: e, idx: -1}
+}
+
+// recycle invalidates outstanding handles and returns the struct to the
+// free list.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.idx = -1
+	ev.dead = false
+	if len(e.free) < maxFreeEvents {
+		e.free = append(e.free, ev)
+	}
+}
+
+// eventLess orders events by time, breaking ties by scheduling order.
+func eventLess(a, b *event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+// push inserts ev into the 4-ary heap.
+func (e *Engine) push(ev *event) {
+	i := len(e.heap)
+	e.heap = append(e.heap, ev)
+	for i > 0 {
+		pi := (i - 1) >> 2
+		p := e.heap[pi]
+		if !eventLess(ev, p) {
+			break
+		}
+		e.heap[i] = p
+		p.idx = int32(i)
+		i = pi
+	}
+	e.heap[i] = ev
+	ev.idx = int32(i)
+}
+
+// pop removes and returns the minimum event.
+func (e *Engine) pop() *event {
+	h := e.heap
+	top := h[0]
+	top.idx = -1
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	e.heap = h[:n]
+	if n > 0 {
+		e.siftDown(0, last)
+	}
+	return top
+}
+
+// siftDown places ev at index i and restores the heap property below it.
+func (e *Engine) siftDown(i int, ev *event) {
+	h := e.heap
+	n := len(h)
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		best := c
+		for j := c + 1; j < end; j++ {
+			if eventLess(h[j], h[best]) {
+				best = j
+			}
+		}
+		if !eventLess(h[best], ev) {
+			break
+		}
+		h[i] = h[best]
+		h[i].idx = int32(i)
+		i = best
+	}
+	h[i] = ev
+	ev.idx = int32(i)
+}
+
+// compact rebuilds the heap without its cancelled events, recycling them.
+// Pop order is unchanged: the heap shape differs but the (at, seq) total
+// order that Run follows is the same.
+func (e *Engine) compact() {
+	h := e.heap
+	live := h[:0]
+	for _, ev := range h {
+		if ev.dead {
+			e.recycle(ev)
+		} else {
+			live = append(live, ev)
+		}
+	}
+	for i := len(live); i < len(h); i++ {
+		h[i] = nil
+	}
+	e.heap = live
+	e.ndead = 0
+	for i := range live {
+		live[i].idx = int32(i)
+	}
+	for i := (len(live) - 2) >> 2; i >= 0; i-- {
+		e.siftDown(i, live[i])
+	}
 }
 
 // Halt stops the run loop after the current event completes.
@@ -123,9 +260,11 @@ func (e *Engine) SetHorizon(t Time) { e.limit = t }
 // horizon is crossed. It returns the final simulated time.
 func (e *Engine) Run() Time {
 	e.halted = false
-	for len(e.queue) > 0 && !e.halted {
-		ev := heap.Pop(&e.queue).(*Event)
+	for len(e.heap) > 0 && !e.halted {
+		ev := e.pop()
 		if ev.dead {
+			e.ndead--
+			e.recycle(ev)
 			continue
 		}
 		if e.limit != 0 && ev.at > e.limit {
@@ -133,7 +272,9 @@ func (e *Engine) Run() Time {
 		}
 		e.now = ev.at
 		e.fired++
-		ev.fn()
+		fn := ev.fn
+		e.recycle(ev)
+		fn()
 	}
 	return e.now
 }
@@ -142,20 +283,24 @@ func (e *Engine) Run() Time {
 // events queued. It returns the simulated time reached (t, or earlier if
 // the queue drained).
 func (e *Engine) RunUntil(t Time) Time {
-	for len(e.queue) > 0 {
-		ev := e.queue[0]
+	for len(e.heap) > 0 {
+		ev := e.heap[0]
 		if ev.dead {
-			heap.Pop(&e.queue)
+			e.pop()
+			e.ndead--
+			e.recycle(ev)
 			continue
 		}
 		if ev.at > t {
 			e.now = t
 			return e.now
 		}
-		heap.Pop(&e.queue)
+		e.pop()
 		e.now = ev.at
 		e.fired++
-		ev.fn()
+		fn := ev.fn
+		e.recycle(ev)
+		fn()
 	}
 	if e.now < t {
 		e.now = t
@@ -163,13 +308,8 @@ func (e *Engine) RunUntil(t Time) Time {
 	return e.now
 }
 
-// Pending reports the number of live queued events.
+// Pending reports the number of live queued events in O(1): the heap
+// length minus a live count of cancelled-but-unreclaimed entries.
 func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.queue {
-		if !ev.dead {
-			n++
-		}
-	}
-	return n
+	return len(e.heap) - e.ndead
 }
