@@ -21,5 +21,9 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
+# bench runs the microbenchmarks (root macro benches plus the scheduler
+# and telemetry hot paths) and then the quick experiment suite with the
+# instrumented scenario, leaving its metrics export in BENCH_quick.json.
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench=. -benchmem . ./internal/sim ./internal/telemetry
+	$(GO) run ./cmd/strombench -quick -metrics BENCH_quick.json > /dev/null

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	strombench -list
-//	strombench [-quick|-full] [-seed N] [-j N] [-csv DIR] [exp ...]
+//	strombench [-quick|-full] [-seed N] [-j N] [-csv DIR]
+//	           [-metrics FILE] [-trace FILE] [exp ...]
 //
 // With no experiment names, everything runs in paper order followed by
 // the ablations. Experiment names are table1, table2, table3, resources,
@@ -14,11 +15,18 @@
 // worker pool. Results are printed in request order and each generator
 // is a pure function of (options, seed), so stdout is byte-identical at
 // every -j value; per-experiment timing goes to stderr.
+//
+// -metrics and -trace additionally run the canonical instrumented
+// scenario (experiments.WriteTelemetry) and write its metrics registry
+// and Perfetto-compatible trace as JSON. The scenario runs on its own
+// engine seeded from -seed, so both files are byte-identical at every
+// -j value; load the trace file in ui.perfetto.dev or chrome://tracing.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
@@ -33,6 +41,8 @@ func main() {
 	jobs := flag.Int("j", experiments.DefaultParallelism(), "experiment generators to run in parallel")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	csvDir := flag.String("csv", "", "also write each figure as CSV into this directory")
+	metricsOut := flag.String("metrics", "", "write instrumented-scenario metrics JSON to this file")
+	traceOut := flag.String("trace", "", "write instrumented-scenario Perfetto trace JSON to this file")
 	flag.Parse()
 
 	if *list {
@@ -65,6 +75,46 @@ func main() {
 		fmt.Fprintln(os.Stderr, "strombench:", err)
 		os.Exit(1)
 	}
+	if err := writeTelemetry(opts, *metricsOut, *traceOut); err != nil {
+		fmt.Fprintln(os.Stderr, "strombench:", err)
+		os.Exit(1)
+	}
+}
+
+// writeTelemetry runs the instrumented scenario once and writes the
+// requested exports. A no-op when neither flag was given.
+func writeTelemetry(opts experiments.Options, metricsPath, tracePath string) error {
+	if metricsPath == "" && tracePath == "" {
+		return nil
+	}
+	var metricsW, traceW io.Writer
+	var files []*os.File
+	open := func(path string) (io.Writer, error) {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		return f, nil
+	}
+	var err error
+	if metricsPath != "" {
+		if metricsW, err = open(metricsPath); err != nil {
+			return err
+		}
+	}
+	if tracePath != "" {
+		if traceW, err = open(tracePath); err != nil {
+			return err
+		}
+	}
+	err = experiments.WriteTelemetry(opts, metricsW, traceW)
+	for _, f := range files {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // run resolves names into tables (rendered inline) and generators

@@ -1,65 +1,48 @@
 // Command stromtrace runs a single hash-table GET through the traversal
-// kernel with packet- and kernel-level tracing enabled, and dumps the
+// kernel with the structured telemetry layer attached, and dumps the
 // timeline — a debugging view of what happens between postRpc and the
-// response landing in the requester's memory.
+// response landing in the requester's memory: BTH opcodes on the wire,
+// the kernel's FSM states, DMA round trips, and the end-to-end RPC span.
+//
+// Usage:
+//
+//	stromtrace [-trace FILE] [-metrics FILE]
+//
+// By default the timeline is rendered as text on stdout. -trace also
+// writes it as Chrome trace-event JSON (load in ui.perfetto.dev or
+// chrome://tracing); -metrics writes the metrics registry as JSON.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"os"
 
-	"strom/internal/core"
-	"strom/internal/fabric"
 	"strom/internal/kernels/traversal"
 	"strom/internal/kvstore"
-	"strom/internal/packet"
-	"strom/internal/roce"
 	"strom/internal/sim"
+	"strom/internal/testrig"
 )
 
 func main() {
-	eng := sim.NewEngine(1)
-	tracer := sim.NewTracer(eng, os.Stdout, false)
+	traceOut := flag.String("trace", "", "also write the timeline as Perfetto trace JSON to this file")
+	metricsOut := flag.String("metrics", "", "also write the metrics registry as JSON to this file")
+	flag.Parse()
 
-	idA := roce.Identity{MAC: packet.MAC{2, 0, 0, 0, 0, 1}, IP: packet.AddrOf(10, 0, 0, 1)}
-	idB := roce.Identity{MAC: packet.MAC{2, 0, 0, 0, 0, 2}, IP: packet.AddrOf(10, 0, 0, 2)}
-	a := core.NewNIC(eng, core.Profile10G(), idA, tracer)
-	b := core.NewNIC(eng, core.Profile10G(), idB, tracer)
-
-	// Wrap the link so every frame is logged with its decoded headers.
-	// NewLink's first endpoint is the A side (receives B's frames).
-	link := fabric.NewLink(eng, fabric.DirectCable10G(),
-		traced(tracer, "A<-wire", a),
-		traced(tracer, "B<-wire", b), tracer)
-	a.SetTransmit(func(f []byte) {
-		logFrame(tracer, "A->wire", f)
-		link.SendFromA(f)
-	})
-	b.SetTransmit(func(f []byte) {
-		logFrame(tracer, "B->wire", f)
-		link.SendFromB(f)
-	})
-
-	if err := a.CreateQP(1, idB, 2); err != nil {
-		log.Fatal(err)
-	}
-	if err := b.CreateQP(2, idA, 1); err != nil {
-		log.Fatal(err)
-	}
-	if err := b.DeployKernel(0x01, traversal.New(0)); err != nil {
-		log.Fatal(err)
-	}
-	bufA, err := a.AllocBuffer(1 << 20)
+	pair, err := testrig.New10G(1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	bufB, err := b.AllocBuffer(4 << 20)
-	if err != nil {
+	const rpcOp = 0x01
+	if err := pair.B.DeployKernel(rpcOp, traversal.New(0)); err != nil {
 		log.Fatal(err)
 	}
-	region := kvstore.NewRegion(b.Memory(), bufB)
+	tel := pair.Instrument()
+
+	region := kvstore.NewRegion(pair.B.Memory(), pair.BufB)
 	ht, err := kvstore.BuildHashTable(region, 64)
 	if err != nil {
 		log.Fatal(err)
@@ -73,31 +56,43 @@ func main() {
 	}
 
 	fmt.Printf("=== GET(key=%#x) via the traversal kernel, 10G testbed ===\n", key)
-	eng.Go("client", func(p *sim.Process) {
-		tracer.Logf("host A: postRpc(traversal, key=%#x)", key)
-		got, err := traversal.Lookup(p, a, 1, 0x01, ht.TraversalParams(key, len(value), bufA.Base()))
+	var got []byte
+	pair.Eng.Go("client", func(p *sim.Process) {
+		got, err = traversal.Lookup(p, pair.A, testrig.QPA, rpcOp,
+			ht.TraversalParams(key, len(value), pair.BufA.Base()))
 		if err != nil {
 			log.Fatal(err)
 		}
-		tracer.Logf("host A: value (%d bytes) visible after polling", len(got))
 	})
-	end := eng.Run()
-	fmt.Printf("=== complete at %v; A sent %d frames, B sent %d frames ===\n",
-		end, a.Stack().Stats().TxPackets, b.Stack().Stats().TxPackets)
-}
+	pair.StartProbes(tel, 2*sim.Microsecond)
+	end := pair.Eng.Run()
 
-// traced wraps an endpoint to log every delivered frame.
-func traced(tr *sim.Tracer, label string, to *core.NIC) fabric.Endpoint {
-	return fabric.EndpointFunc(func(f []byte) {
-		logFrame(tr, label, f)
-		to.DeliverFrame(f)
-	})
-}
-
-func logFrame(tr *sim.Tracer, label string, f []byte) {
-	if pkt, err := packet.Decode(f); err == nil {
-		tr.Logf("%s: %v (%d wire bytes)", label, pkt, pkt.WireBytes())
-	} else {
-		tr.Logf("%s: non-RoCE frame (%d bytes)", label, len(f))
+	if err := tel.Trace.Render(os.Stdout); err != nil {
+		log.Fatal(err)
 	}
+	fmt.Printf("=== complete at %v; value (%d bytes) visible after polling; A sent %d frames, B sent %d frames ===\n",
+		end, len(got), pair.A.Stack().Stats().TxPackets, pair.B.Stack().Stats().TxPackets)
+
+	if *traceOut != "" {
+		if err := writeFile(*traceOut, tel.Trace.WriteJSON); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeFile(*metricsOut, tel.Registry.WriteJSON); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -42,6 +42,10 @@ const (
 	RegKernelDMAReads
 	RegKernelDMAWrites
 	RegKernelRDMAWrites
+	RegTxBytes
+	RegRxBytes
+	RegDupReadCacheHits
+	RegDupReadCacheMisses
 	registerCount
 )
 
@@ -57,6 +61,7 @@ func (r Register) String() string {
 		"DOORBELLS", "RPCS_DISPATCHED", "RPCS_FALLBACK", "RPCS_UNMATCHED",
 		"STREAM_SEGMENTS", "KERNEL_DMA_READS", "KERNEL_DMA_WRITES",
 		"KERNEL_RDMA_WRITES",
+		"TX_BYTES", "RX_BYTES", "DUP_READ_CACHE_HITS", "DUP_READ_CACHE_MISSES",
 	}
 	if int(r) < len(names) {
 		return names[r]
@@ -131,6 +136,14 @@ func (c *Controller) value(r Register) (uint64, error) {
 		return c.nic.stats.KernelDMAWrites, nil
 	case RegKernelRDMAWrites:
 		return c.nic.stats.KernelRDMAWrites, nil
+	case RegTxBytes:
+		return st.TxBytes, nil
+	case RegRxBytes:
+		return st.RxBytes, nil
+	case RegDupReadCacheHits:
+		return st.DupReadCacheHits, nil
+	case RegDupReadCacheMisses:
+		return st.DupReadCacheMiss, nil
 	}
 	return 0, fmt.Errorf("strom: unknown register %d", uint32(r))
 }

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"strom/internal/telemetry"
+)
+
+// Trace track (tid) layout inside a NIC's process (pid): tids 1-3 are the
+// RoCE stack's pipelines, 8-9 the DMA engine's streams, 16+qpn one lane
+// per queue pair (host-visible operations), 64+i one lane per deployed
+// kernel in rpcOp order.
+const (
+	traceTidQPBase     = 16
+	traceTidKernelBase = 64
+)
+
+// nicTelemetry is the NIC's handle onto the observability layer; nil
+// when telemetry is disabled, so hot paths pay one pointer compare.
+type nicTelemetry struct {
+	reg    *telemetry.Registry
+	tb     *telemetry.TraceBuffer
+	pid    uint32
+	name   string
+	seenQP map[uint32]bool
+}
+
+// AttachTelemetry wires the NIC and all its components (RoCE stack, DMA
+// engine, kernels) into the observability layer under pid. The registry
+// mirrors every status-register counter via collect callbacks; the trace
+// buffer gets per-QP operation spans, per-kernel FSM lanes, and the
+// stack/DMA tracks. Either argument may be nil. Call after deploying
+// kernels so every deployment gets its trace lane.
+func (n *NIC) AttachTelemetry(reg *telemetry.Registry, tb *telemetry.TraceBuffer, pid uint32, name string) {
+	n.tel = &nicTelemetry{reg: reg, tb: tb, pid: pid, name: name, seenQP: make(map[uint32]bool)}
+	tb.NameProcess(pid, "nic:"+name)
+	n.stack.AttachTelemetry(reg, tb, pid)
+	n.dma.AttachTelemetry(reg, tb, pid, name)
+	nic := telemetry.L("nic", name)
+	if reg != nil {
+		reg.OnCollect(func() {
+			reg.Counter("nic_doorbells", nic).Set(n.stats.Doorbells)
+			reg.Counter("nic_rpcs_dispatched", nic).Set(n.stats.RPCsDispatched)
+			reg.Counter("nic_rpcs_fallback", nic).Set(n.stats.RPCsFallback)
+			reg.Counter("nic_rpcs_unmatched", nic).Set(n.stats.RPCsUnmatched)
+			reg.Counter("nic_stream_segments", nic).Set(n.stats.StreamSegments)
+			reg.Counter("nic_kernel_dma_reads", nic).Set(n.stats.KernelDMAReads)
+			reg.Counter("nic_kernel_dma_writes", nic).Set(n.stats.KernelDMAWrites)
+			reg.Counter("nic_kernel_rdma_writes", nic).Set(n.stats.KernelRDMAWrites)
+			reg.Counter("nic_tlb_lookups", nic).Set(n.tlb.Lookups)
+			reg.Counter("nic_tlb_splits", nic).Set(n.tlb.Splits)
+			reg.Counter("nic_tlb_misses", nic).Set(n.tlb.Misses)
+		})
+	}
+	// One trace lane and occupancy instrumentation per deployed kernel,
+	// assigned in rpcOp order so lane numbering is deterministic.
+	ops := make([]uint64, 0, len(n.kernels))
+	for op := range n.kernels {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	for i, op := range ops {
+		d := n.kernels[op]
+		d.ctx.tid = uint32(traceTidKernelBase + i)
+		tb.NameThread(pid, d.ctx.tid, "kernel:"+d.kernel.Name())
+	}
+}
+
+// qpTid returns the trace lane for a queue pair, naming it on first use.
+func (t *nicTelemetry) qpTid(qpn uint32) uint32 {
+	tid := traceTidQPBase + qpn
+	if t.tb != nil && !t.seenQP[qpn] {
+		t.seenQP[qpn] = true
+		t.tb.NameThread(t.pid, tid, fmt.Sprintf("qp%d", qpn))
+	}
+	return tid
+}
+
+// instrumentOp wraps a host-posted operation's completion callback to
+// record a per-QP span (doorbell through remote acknowledgement) and a
+// per-QP latency histogram observation. Returns done unchanged when
+// telemetry is disabled.
+func (n *NIC) instrumentOp(op string, qpn uint32, done func(error)) func(error) {
+	t := n.tel
+	if t == nil {
+		return done
+	}
+	start := n.eng.Now()
+	tid := t.qpTid(qpn)
+	hist := t.reg.Histogram("op_latency_ps", "ps",
+		telemetry.L("nic", t.name), telemetry.L("qp", strconv.FormatUint(uint64(qpn), 10)), telemetry.L("op", op))
+	return func(err error) {
+		d := n.eng.Now().Sub(start)
+		arg := ""
+		if err != nil {
+			arg = err.Error()
+			t.reg.Counter("op_errors", telemetry.L("nic", t.name), telemetry.L("op", op)).Inc()
+		}
+		t.tb.Complete(t.pid, tid, "op", op, start, d, arg)
+		hist.Observe(d)
+		if done != nil {
+			done(err)
+		}
+	}
+}
+
+// TelemetrySample records the NIC's instantaneous occupancy into the
+// registry — kernel in-flight DMA commands, per-QP outstanding reads and
+// unacknowledged packets, doorbell backlog. Called from sampling probes;
+// a no-op when telemetry is disabled.
+func (n *NIC) TelemetrySample() {
+	t := n.tel
+	if t == nil || t.reg == nil {
+		return
+	}
+	nic := telemetry.L("nic", t.name)
+	ops := make([]uint64, 0, len(n.kernels))
+	for op := range n.kernels {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	for _, op := range ops {
+		d := n.kernels[op]
+		lbl := telemetry.L("kernel", d.kernel.Name())
+		t.reg.Gauge("kernel_inflight_dma", nic, lbl).Set(float64(d.ctx.inflight))
+		t.reg.Histogram("kernel_inflight_dma_samples", "commands", nic, lbl).ObserveInt(int64(d.ctx.inflight))
+	}
+	n.stack.EachActiveQP(func(qpn uint32) {
+		qp := telemetry.L("qp", strconv.FormatUint(uint64(qpn), 10))
+		t.reg.Histogram("qp_outstanding_reads", "reads", nic, qp).ObserveInt(int64(n.stack.OutstandingReads(qpn)))
+		t.reg.Histogram("qp_unacked_packets", "packets", nic, qp).ObserveInt(int64(n.stack.PendingPackets(qpn)))
+	})
+	backlog := n.doorbell.NextFree().Sub(n.eng.Now())
+	if backlog < 0 {
+		backlog = 0
+	}
+	t.reg.Histogram("doorbell_backlog_ps", "ps", nic).Observe(backlog)
+}

@@ -6,6 +6,8 @@
 package core
 
 import (
+	"fmt"
+
 	"strom/internal/fpga"
 	"strom/internal/hostmem"
 	"strom/internal/roce"
@@ -42,6 +44,12 @@ type Context struct {
 	nic   *NIC
 	name  string
 	cycle sim.Duration
+
+	// Telemetry state (zero / unused when telemetry is disabled): the
+	// deployment's trace lane and its in-flight DMA command count, the
+	// occupancy signal sampled by probes.
+	tid      uint32
+	inflight int
 }
 
 // Engine exposes the simulation engine (for kernels that keep timers).
@@ -62,12 +70,30 @@ func (c *Context) Delay(cycles int, fn func()) {
 // streams: a PCIe round trip of roughly 1.5 µs (§6.2).
 func (c *Context) DMARead(va uint64, n int, done func([]byte, error)) {
 	c.nic.stats.KernelDMAReads++
+	if c.nic.tel != nil {
+		c.inflight++
+		inner := done
+		done = func(data []byte, err error) {
+			c.inflight--
+			inner(data, err)
+		}
+	}
 	c.nic.dma.ReadHost(hostmem.Addr(va), n, done)
 }
 
 // DMAWrite issues a write to host memory over dmaCmdOut/dmaDataOut.
 func (c *Context) DMAWrite(va uint64, data []byte, done func(error)) {
 	c.nic.stats.KernelDMAWrites++
+	if c.nic.tel != nil {
+		c.inflight++
+		inner := done
+		done = func(err error) {
+			c.inflight--
+			if inner != nil {
+				inner(err)
+			}
+		}
+	}
 	c.nic.dma.WriteHost(hostmem.Addr(va), data, done)
 }
 
@@ -92,4 +118,16 @@ func (c *Context) RDMARPC(qpn uint32, rpcOp uint64, params []byte, done func(err
 // Tracef logs into the NIC trace.
 func (c *Context) Tracef(format string, args ...any) {
 	c.nic.tracer.Logf("kernel[%s]: "+format, append([]any{c.name}, args...)...)
+}
+
+// State marks an FSM state transition of the kernel's data-flow pipeline
+// on the kernel's trace lane — the software analogue of the per-block
+// status registers a SmartNIC shell exposes. A single pointer compare
+// when telemetry is disabled.
+func (c *Context) State(qpn uint32, state string) {
+	t := c.nic.tel
+	if t == nil {
+		return
+	}
+	t.tb.Instant(t.pid, c.tid, "kernel", state, fmt.Sprintf("%s qp=%d", c.name, qpn))
 }

@@ -84,6 +84,7 @@ type NIC struct {
 	fallback RPCFallback
 	doorbell *sim.Serializer
 	stats    NICStats
+	tel      *nicTelemetry // nil when telemetry is disabled
 }
 
 // NewNIC builds a machine with the given identity. Call SetTransmit (or
@@ -239,6 +240,7 @@ func (n *NIC) HandleReadRequest(qpn uint32, va uint64, nbytes int, deliver func(
 func (n *NIC) HandleRPCParams(qpn uint32, rpcOp uint64, params []byte) error {
 	if d, ok := n.kernels[rpcOp]; ok {
 		n.stats.RPCsDispatched++
+		d.ctx.State(qpn, "INVOKE")
 		p := append([]byte(nil), params...)
 		n.eng.Schedule(n.cfg.Roce.Cycles(kernelPipelineCycles), func() {
 			d.kernel.Invoke(d.ctx, qpn, p)
@@ -288,6 +290,7 @@ func (n *NIC) ringDoorbell(fn func()) {
 // to the remote address remoteVA. The request handler fetches the payload
 // over DMA before transmission (§4.1).
 func (n *NIC) PostWrite(qpn uint32, localVA, remoteVA uint64, nbytes int, done func(error)) {
+	done = n.instrumentOp("WRITE", qpn, done)
 	n.ringDoorbell(func() {
 		n.dma.ReadHost(hostmem.Addr(localVA), nbytes, func(data []byte, err error) {
 			if err != nil {
@@ -305,6 +308,7 @@ func (n *NIC) PostWrite(qpn uint32, localVA, remoteVA uint64, nbytes int, done f
 // at localVA. Response chunks are DMA-written as they arrive; done fires
 // when the final chunk is visible to a polling CPU.
 func (n *NIC) PostRead(qpn uint32, remoteVA, localVA uint64, nbytes int, done func(error)) {
+	done = n.instrumentOp("READ", qpn, done)
 	n.ringDoorbell(func() {
 		sink := func(off int, chunk []byte, ack func()) {
 			n.dma.WriteHost(hostmem.Addr(localVA)+hostmem.Addr(off), chunk, func(err error) {
@@ -323,6 +327,7 @@ func (n *NIC) PostRead(qpn uint32, remoteVA, localVA uint64, nbytes int, done fu
 // PostRPC issues an RDMA RPC: op-code plus parameters, all carried in the
 // doorbell write (Listing 5's postRpc).
 func (n *NIC) PostRPC(qpn uint32, rpcOp uint64, params []byte, done func(error)) {
+	done = n.instrumentOp("RPC", qpn, done)
 	p := append([]byte(nil), params...)
 	n.ringDoorbell(func() {
 		if err := n.stack.PostRPC(qpn, rpcOp, p, done); err != nil {
@@ -334,6 +339,7 @@ func (n *NIC) PostRPC(qpn uint32, rpcOp uint64, params []byte, done func(error))
 // PostRPCWrite issues an RDMA RPC WRITE: n bytes at localVA are fetched
 // over DMA and streamed to the remote kernel (Listing 5's postRpcWrite).
 func (n *NIC) PostRPCWrite(qpn uint32, rpcOp uint64, localVA uint64, nbytes int, done func(error)) {
+	done = n.instrumentOp("RPC_WRITE", qpn, done)
 	n.ringDoorbell(func() {
 		n.dma.ReadHost(hostmem.Addr(localVA), nbytes, func(data []byte, err error) {
 			if err != nil {

@@ -10,6 +10,7 @@ import (
 
 	"strom/internal/packet"
 	"strom/internal/sim"
+	"strom/internal/telemetry"
 )
 
 // Endpoint receives frames from the fabric.
@@ -51,6 +52,11 @@ type direction struct {
 	dst    Endpoint
 	stats  Stats
 	tracer *sim.Tracer
+
+	// Structured tracing (nil when telemetry is disabled).
+	tb  *telemetry.TraceBuffer
+	pid uint32
+	tid uint32
 }
 
 func (d *direction) send(frame []byte) {
@@ -61,6 +67,9 @@ func (d *direction) send(frame []byte) {
 	if d.imp.DropProb > 0 && d.eng.Rand().Float64() < d.imp.DropProb {
 		d.stats.Dropped++
 		d.tracer.Logf("fabric: dropped frame (%d bytes)", len(frame))
+		if d.tb != nil {
+			d.tb.Instant(d.pid, d.tid, "wire", "drop", fmt.Sprintf("%d bytes", len(frame)))
+		}
 		return
 	}
 	// Senders may retain (and retransmit) their frame buffer, so each
@@ -71,8 +80,16 @@ func (d *direction) send(frame []byte) {
 		pos := d.eng.Rand().Intn(len(buf))
 		buf[pos] ^= 1 << d.eng.Rand().Intn(8)
 		d.tracer.Logf("fabric: corrupted frame at byte %d", pos)
+		if d.tb != nil {
+			d.tb.Instant(d.pid, d.tid, "wire", "corrupt", fmt.Sprintf("byte %d", pos))
+		}
 	}
-	d.eng.ScheduleAt(end.Add(d.prop), func() { d.dst.DeliverFrame(buf) })
+	deliverAt := end.Add(d.prop)
+	if d.tb != nil {
+		now := d.eng.Now()
+		d.tb.Complete(d.pid, d.tid, "wire", "frame", now, deliverAt.Sub(now), fmt.Sprintf("%d wire bytes", wireBytes))
+	}
+	d.eng.ScheduleAt(deliverAt, func() { d.dst.DeliverFrame(buf) })
 }
 
 // Link is a full-duplex point-to-point Ethernet cable. The paper's
@@ -104,6 +121,47 @@ func NewLink(eng *sim.Engine, cfg LinkConfig, a, b Endpoint, tracer *sim.Tracer)
 		a: &direction{eng: eng, wire: sim.NewSerializer(eng), gbps: cfg.BandwidthGbps, prop: cfg.Propagation, dst: b, tracer: tracer},
 		b: &direction{eng: eng, wire: sim.NewSerializer(eng), gbps: cfg.BandwidthGbps, prop: cfg.Propagation, dst: a, tracer: tracer},
 	}
+}
+
+// Trace track (tid) layout inside the link's process (pid).
+const (
+	traceTidAtoB = 1
+	traceTidBtoA = 2
+)
+
+// AttachTelemetry wires the link into the observability layer under pid:
+// the registry mirrors per-direction frame/byte/drop/corrupt counters
+// and wire utilisation via a collect callback; the trace buffer receives
+// one complete span per frame in flight (serialization + propagation)
+// on a per-direction track. Either argument may be nil.
+func (l *Link) AttachTelemetry(reg *telemetry.Registry, tb *telemetry.TraceBuffer, pid uint32) {
+	if reg != nil {
+		collect := func(name string, d *direction) {
+			lbl := telemetry.L("dir", name)
+			reg.Counter("link_frames", lbl).Set(d.stats.Frames)
+			reg.Counter("link_bytes", lbl).Set(d.stats.Bytes)
+			reg.Counter("link_dropped", lbl).Set(d.stats.Dropped)
+			reg.Counter("link_corrupted", lbl).Set(d.stats.Corrupted)
+			reg.Gauge("link_utilisation", lbl).Set(d.wire.Utilisation())
+		}
+		reg.OnCollect(func() {
+			collect("a-to-b", l.a)
+			collect("b-to-a", l.b)
+		})
+	}
+	if tb != nil {
+		tb.NameProcess(pid, "link")
+		tb.NameThread(pid, traceTidAtoB, "a-to-b")
+		tb.NameThread(pid, traceTidBtoA, "b-to-a")
+	}
+	l.a.tb, l.a.pid, l.a.tid = tb, pid, traceTidAtoB
+	l.b.tb, l.b.pid, l.b.tid = tb, pid, traceTidBtoA
+}
+
+// Utilisations returns wire utilisation for both directions since time
+// zero (for sampling probes).
+func (l *Link) Utilisations() (aToB, bToA float64) {
+	return l.a.wire.Utilisation(), l.b.wire.Utilisation()
 }
 
 // SendFromA transmits a frame from endpoint a toward endpoint b.

@@ -119,6 +119,7 @@ func (k *Kernel) Invoke(ctx *core.Context, qpn uint32, raw []byte) {
 // inconsistency it re-reads over PCIe (§6.3: "in case of inconsistency,
 // the kernel re-reads the data object").
 func (k *Kernel) attempt(ctx *core.Context, qpn uint32, p Params, retriesLeft int) {
+	ctx.State(qpn, "READ_OBJECT")
 	ctx.DMARead(p.ObjectAddress, int(p.ObjectSize), func(obj []byte, err error) {
 		if err != nil {
 			k.stats.Failures++
@@ -135,11 +136,13 @@ func (k *Kernel) attempt(ctx *core.Context, qpn uint32, p Params, retriesLeft in
 			return
 		}
 		k.stats.Rereads++
+		ctx.State(qpn, "REREAD")
 		k.attempt(ctx, qpn, p, retriesLeft-1)
 	})
 }
 
 func (k *Kernel) respond(ctx *core.Context, qpn uint32, p Params, obj []byte, status uint64) {
+	ctx.State(qpn, "RESPOND")
 	resp := make([]byte, int(p.ObjectSize)+8)
 	copy(resp, obj)
 	binary.LittleEndian.PutUint64(resp[int(p.ObjectSize):], status)

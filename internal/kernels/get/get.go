@@ -113,6 +113,7 @@ func (k *Kernel) Invoke(ctx *core.Context, qpn uint32, raw []byte) {
 // fetchHTEntry issues the 64 B entry read (Listing 3): one DMA command
 // plus metadata pushed to the next stage.
 func (k *Kernel) fetchHTEntry(ctx *core.Context, meta internalMeta, entryAddr uint64) {
+	ctx.State(meta.qpn, "FETCH_HT_ENTRY")
 	ctx.DMARead(entryAddr, entrySize, func(entry []byte, err error) {
 		if err != nil {
 			k.fail(ctx, meta)
@@ -125,6 +126,7 @@ func (k *Kernel) fetchHTEntry(ctx *core.Context, meta internalMeta, entryAddr ui
 // parseHTEntry compares the lookup key against all buckets concurrently
 // (the unrolled loop of Listing 4) and issues the value read.
 func (k *Kernel) parseHTEntry(ctx *core.Context, meta internalMeta, entry []byte) {
+	ctx.State(meta.qpn, "PARSE_HT_ENTRY")
 	var match [buckets]bool
 	for i := 0; i < buckets; i++ {
 		match[i] = binary.LittleEndian.Uint64(entry[i*bucketStride:]) == meta.lookupKey
@@ -145,12 +147,14 @@ func (k *Kernel) parseHTEntry(ctx *core.Context, meta internalMeta, entry []byte
 	// merge_read_cmds / split_read_data: the value read command follows
 	// the entry read on the shared DMA command stream; response data is
 	// routed to the RoCE TX path.
+	ctx.State(meta.qpn, "READ_VALUE")
 	ctx.DMARead(valuePtr, int(valueLen), func(value []byte, err error) {
 		if err != nil {
 			k.fail(ctx, meta)
 			return
 		}
 		k.gets++
+		ctx.State(meta.qpn, "RESPOND")
 		resp := make([]byte, len(value)+8)
 		copy(resp, value)
 		binary.LittleEndian.PutUint64(resp[len(value):], StatusDone)

@@ -149,6 +149,7 @@ func (k *Kernel) Invoke(ctx *core.Context, qpn uint32, raw []byte) {
 		bufs:    make([][]byte, p.NumPartitions),
 	}
 	k.sess = s
+	ctx.State(qpn, "LOAD_HISTOGRAM")
 	ctx.DMARead(p.TableAddress, int(p.NumPartitions)*DescriptorSize, func(table []byte, err error) {
 		if err != nil {
 			k.stats.Errors++
@@ -220,6 +221,7 @@ func (k *Kernel) flush(ctx *core.Context, s *session, pid uint32) {
 	s.offsets[pid] += uint64(len(buf))
 	s.pending++
 	k.stats.Flushes++
+	ctx.State(s.lastQPN, "FLUSH_PARTITION")
 	ctx.DMAWrite(dst, buf, func(err error) {
 		if err != nil {
 			k.stats.Errors++
@@ -237,6 +239,7 @@ func (k *Kernel) maybeComplete(ctx *core.Context, s *session) {
 		return
 	}
 	s.params.CompletionAddress = markDone(s.params.CompletionAddress)
+	ctx.State(s.lastQPN, "COMPLETE")
 	out := make([]byte, 8)
 	binary.LittleEndian.PutUint64(out, s.tuples)
 	ctx.DMAWrite(doneAddr(s.params.CompletionAddress), out, nil2)

@@ -215,6 +215,7 @@ func (k *Kernel) step(ctx *core.Context, qpn uint32, p Params, addr uint64, hops
 		return
 	}
 	k.stats.Hops++
+	ctx.State(qpn, "FETCH_ELEMENT")
 	ctx.DMARead(addr, ElementSize, func(elem []byte, err error) {
 		if err != nil {
 			k.stats.Errors++
@@ -245,6 +246,7 @@ func (k *Kernel) step(ctx *core.Context, qpn uint32, p Params, addr uint64, hops
 				return
 			}
 			valuePtr := binary.LittleEndian.Uint64(elem[4*vpos : 4*vpos+8])
+			ctx.State(qpn, "READ_VALUE")
 			ctx.DMARead(valuePtr, int(p.ValueSize), func(value []byte, err error) {
 				if err != nil {
 					k.stats.Errors++
@@ -278,6 +280,7 @@ func (k *Kernel) finish(ctx *core.Context, qpn uint32, p Params, value []byte, s
 	case StatusNotFound:
 		k.stats.NotFound++
 	}
+	ctx.State(qpn, "RESPOND")
 	resp := make([]byte, int(p.ValueSize)+8)
 	copy(resp, value)
 	binary.LittleEndian.PutUint64(resp[int(p.ValueSize):], status)

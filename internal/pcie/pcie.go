@@ -16,6 +16,7 @@ import (
 
 	"strom/internal/hostmem"
 	"strom/internal/sim"
+	"strom/internal/telemetry"
 	"strom/internal/tlb"
 )
 
@@ -91,6 +92,43 @@ type Engine struct {
 	c2h  *sim.Serializer // card-to-host (DMA writes)
 	mmio *sim.Serializer // register path
 	st   Stats
+
+	// Structured tracing (nil when telemetry is disabled).
+	tb  *telemetry.TraceBuffer
+	pid uint32
+}
+
+// Trace track (tid) layout inside the DMA engine's process (pid).
+const (
+	traceTidH2C = 8 // DMA reads (host-to-card stream)
+	traceTidC2H = 9 // DMA writes (card-to-host stream)
+)
+
+// AttachTelemetry wires the DMA engine into the observability layer
+// under pid: the registry mirrors the Stats counters and link
+// utilisation via a collect callback; the trace buffer receives one
+// complete span per DMA command on the H2C/C2H tracks. Either argument
+// may be nil.
+func (e *Engine) AttachTelemetry(reg *telemetry.Registry, tb *telemetry.TraceBuffer, pid uint32, nicName string) {
+	nic := telemetry.L("nic", nicName)
+	if reg != nil {
+		reg.OnCollect(func() {
+			reg.Counter("pcie_dma_read_commands", nic).Set(e.st.ReadCommands)
+			reg.Counter("pcie_dma_write_commands", nic).Set(e.st.WriteCommands)
+			reg.Counter("pcie_dma_read_bytes", nic).Set(e.st.ReadBytes)
+			reg.Counter("pcie_dma_write_bytes", nic).Set(e.st.WriteBytes)
+			reg.Counter("pcie_dma_split_segments", nic).Set(e.st.SplitSegments)
+			h2c, c2h := e.Utilisation()
+			reg.Gauge("pcie_h2c_utilisation", nic).Set(h2c)
+			reg.Gauge("pcie_c2h_utilisation", nic).Set(c2h)
+		})
+	}
+	if tb != nil {
+		tb.NameThread(pid, traceTidH2C, "pcie:h2c")
+		tb.NameThread(pid, traceTidC2H, "pcie:c2h")
+	}
+	e.tb = tb
+	e.pid = pid
 }
 
 // NewEngine creates a DMA engine bound to a host memory and a NIC TLB.
@@ -131,6 +169,10 @@ func (e *Engine) ReadHost(va hostmem.Addr, n int, done func([]byte, error)) {
 	}
 	// Data lands after the request round trip plus streaming time.
 	at := finish.Add(e.cfg.ReadLatency)
+	if e.tb != nil {
+		now := e.eng.Now()
+		e.tb.Complete(e.pid, traceTidH2C, "dma", "DMA_READ", now, at.Sub(now), fmt.Sprintf("va=%#x n=%d segs=%d", uint64(va), n, len(segs)))
+	}
 	e.eng.ScheduleAt(at, func() {
 		out := make([]byte, 0, n)
 		for _, s := range segs {
@@ -169,6 +211,10 @@ func (e *Engine) WriteHost(va hostmem.Addr, data []byte, done func(error)) {
 		finish = e.c2h.Reserve(d)
 	}
 	at := finish.Add(e.cfg.WriteLatency)
+	if e.tb != nil {
+		now := e.eng.Now()
+		e.tb.Complete(e.pid, traceTidC2H, "dma", "DMA_WRITE", now, at.Sub(now), fmt.Sprintf("va=%#x n=%d segs=%d", uint64(va), n, len(segs)))
+	}
 	e.eng.ScheduleAt(at, func() {
 		off := 0
 		for _, s := range segs {

@@ -1,0 +1,82 @@
+package roce
+
+import (
+	"strom/internal/packet"
+	"strom/internal/telemetry"
+)
+
+// Trace track (tid) layout inside a stack's process (pid): the TX and RX
+// pipelines plus a reliability lane for retransmissions and timeouts.
+const (
+	traceTidTx      = 1
+	traceTidRx      = 2
+	traceTidRetrans = 3
+)
+
+// AttachTelemetry wires the stack into the observability layer: the
+// registry receives every Stats counter labelled by NIC (mirrored by a
+// collect callback, so the data path is untouched), and the trace buffer
+// receives one instant event per packet on the TX/RX/reliability tracks
+// under pid. Either argument may be nil.
+func (s *Stack) AttachTelemetry(reg *telemetry.Registry, tb *telemetry.TraceBuffer, pid uint32) {
+	nic := telemetry.L("nic", s.id.IP.String())
+	if reg != nil {
+		reg.OnCollect(func() {
+			st := s.stats
+			reg.Counter("roce_tx_packets", nic).Set(st.TxPackets)
+			reg.Counter("roce_tx_bytes", nic).Set(st.TxBytes)
+			reg.Counter("roce_rx_packets", nic).Set(st.RxPackets)
+			reg.Counter("roce_rx_bytes", nic).Set(st.RxBytes)
+			reg.Counter("roce_rx_discarded", nic).Set(st.RxDiscarded)
+			reg.Counter("roce_rx_duplicates", nic).Set(st.RxDuplicates)
+			reg.Counter("roce_rx_out_of_order", nic).Set(st.RxOutOfOrder)
+			reg.Counter("roce_acks_sent", nic).Set(st.AcksSent)
+			reg.Counter("roce_naks_sent", nic).Set(st.NaksSent)
+			reg.Counter("roce_acks_received", nic).Set(st.AcksReceived)
+			reg.Counter("roce_naks_received", nic).Set(st.NaksReceived)
+			reg.Counter("roce_retransmissions", nic).Set(st.Retransmissions)
+			reg.Counter("roce_timeouts", nic).Set(st.Timeouts)
+			reg.Counter("roce_dup_read_cache_hits", nic).Set(st.DupReadCacheHits)
+			reg.Counter("roce_dup_read_cache_misses", nic).Set(st.DupReadCacheMiss)
+		})
+	}
+	if tb != nil {
+		tb.NameThread(pid, traceTidTx, "roce:tx")
+		tb.NameThread(pid, traceTidRx, "roce:rx")
+		tb.NameThread(pid, traceTidRetrans, "roce:reliability")
+	}
+	s.tb = tb
+	s.pid = pid
+}
+
+// EachActiveQP calls fn for every created queue pair in ascending QPN
+// order (deterministic — used by telemetry sampling probes).
+func (s *Stack) EachActiveQP(fn func(qpn uint32)) {
+	for i := range s.st.qps {
+		if s.st.qps[i].created {
+			fn(uint32(i))
+		}
+	}
+}
+
+// PendingPackets reports the number of requester packets awaiting
+// acknowledgement on a QP (zero for unknown QPs).
+func (s *Stack) PendingPackets(qpn uint32) int {
+	st, err := s.st.get(qpn)
+	if err != nil {
+		return 0
+	}
+	return len(st.pending)
+}
+
+// traceFrame decodes an encoded frame and records it as an instant event
+// on the given track. Only called when tracing is enabled, so the decode
+// cost never touches the disabled path.
+func (s *Stack) traceFrame(tid uint32, cat string, frame []byte) {
+	pkt, err := packet.Decode(frame)
+	if err != nil {
+		s.tb.Instant(s.pid, tid, cat, "undecodable", err.Error())
+		return
+	}
+	s.tb.Instant(s.pid, tid, cat, pkt.BTH.Opcode.String(), pkt.String())
+}

@@ -6,6 +6,7 @@ import (
 
 	"strom/internal/packet"
 	"strom/internal/sim"
+	"strom/internal/telemetry"
 )
 
 // Handler is the host-side interface the responder data path drives — in
@@ -34,17 +35,21 @@ type ReadSink func(offset int, chunk []byte, ack func())
 // Stats counts stack activity, exposed through the Controller's status
 // registers (§4.3).
 type Stats struct {
-	TxPackets       uint64
-	RxPackets       uint64
-	RxDiscarded     uint64 // undecodable (bad ICRC / checksum / opcode)
-	RxDuplicates    uint64
-	RxOutOfOrder    uint64
-	AcksSent        uint64
-	NaksSent        uint64
-	AcksReceived    uint64
-	NaksReceived    uint64
-	Retransmissions uint64
-	Timeouts        uint64
+	TxPackets         uint64
+	TxBytes           uint64 // encoded frame bytes handed to the fabric
+	RxPackets         uint64
+	RxBytes           uint64 // frame bytes delivered by the fabric
+	RxDiscarded       uint64 // undecodable (bad ICRC / checksum / opcode)
+	RxDuplicates      uint64
+	RxOutOfOrder      uint64
+	AcksSent          uint64
+	NaksSent          uint64
+	AcksReceived      uint64
+	NaksReceived      uint64
+	Retransmissions   uint64
+	Timeouts          uint64
+	DupReadCacheHits  uint64 // duplicate READs answered from the recent-read cache
+	DupReadCacheMiss  uint64 // duplicate READs outside the cache window (dropped)
 }
 
 // Request failure modes.
@@ -70,6 +75,11 @@ type Stack struct {
 	timers []sim.Event
 
 	stats Stats
+
+	// Structured tracing (nil when telemetry is disabled; see
+	// AttachTelemetry). Hot paths gate on tb with one pointer compare.
+	tb  *telemetry.TraceBuffer
+	pid uint32
 }
 
 // NewStack builds a stack. transmit pushes encoded frames into the
@@ -146,7 +156,11 @@ func (s *Stack) sendFrame(st *qpState, frame []byte, words int, recycle bool) {
 	end := s.txPath.Reserve(s.cfg.Cycles(words))
 	s.eng.ScheduleAt(end.Add(s.cfg.Cycles(s.cfg.TxFixedCycles)), func() {
 		s.stats.TxPackets++
+		s.stats.TxBytes += uint64(len(frame))
 		st.progress++
+		if s.tb != nil {
+			s.traceFrame(traceTidTx, "tx", frame)
+		}
 		s.transmit(frame)
 		if recycle {
 			packet.PutBuf(frame)
@@ -158,6 +172,9 @@ func (s *Stack) sendFrame(st *qpState, frame []byte, words int, recycle bool) {
 func (s *Stack) retransmitFrame(st *qpState, frame []byte) {
 	words := (len(frame) + s.cfg.DataPathBytes - 1) / s.cfg.DataPathBytes
 	s.stats.Retransmissions++
+	if s.tb != nil {
+		s.traceFrame(traceTidRetrans, "retransmit", frame)
+	}
 	s.sendFrame(st, frame, words, false)
 }
 
@@ -264,6 +281,7 @@ func (s *Stack) process(frame []byte) {
 	// Decode copies the payload out, so the frame buffer is dead once
 	// this packet has been handled.
 	defer packet.PutBuf(frame)
+	s.stats.RxBytes += uint64(len(frame))
 	pkt, err := packet.Decode(frame)
 	if err != nil {
 		// The Packet Dropper discards malformed packets; reliability
@@ -273,6 +291,9 @@ func (s *Stack) process(frame []byte) {
 		return
 	}
 	s.stats.RxPackets++
+	if s.tb != nil {
+		s.tb.Instant(s.pid, traceTidRx, "wire", pkt.BTH.Opcode.String(), pkt.String())
+	}
 	st, err := s.st.get(pkt.BTH.DestQP)
 	if err != nil {
 		s.stats.RxDiscarded++
@@ -314,7 +335,10 @@ func (s *Stack) handleRequest(qpn uint32, st *qpState, pkt *packet.Packet) {
 			// timing, so hits are a deterministic function of the PSN
 			// distance alone.
 			if rr, ok := st.recentRds[pkt.BTH.PSN]; ok && -d <= int32(8*s.cfg.ReadDepthPerQP) {
+				s.stats.DupReadCacheHits++
 				s.executeRead(qpn, st, rr.va, rr.n, rr.resp)
+			} else {
+				s.stats.DupReadCacheMiss++
 			}
 			return
 		}
@@ -583,6 +607,9 @@ func (s *Stack) onTimeout(qpn uint32, st *qpState, snap uint64) {
 		return
 	}
 	s.stats.Timeouts++
+	if s.tb != nil {
+		s.tb.Instant(s.pid, traceTidRetrans, "reliability", "timeout", fmt.Sprintf("qp=%d retries=%d", qpn, st.retries+1))
+	}
 	st.retries++
 	if st.retries > s.cfg.MaxRetries {
 		for _, p := range st.pending {

@@ -5,19 +5,56 @@ import (
 	"io"
 )
 
+// DefaultKeepLimit bounds the records a keep=true Tracer retains in
+// memory; older records are discarded once the limit is reached.
+const DefaultKeepLimit = 4096
+
 // Tracer records timestamped simulation events for debugging and for the
 // determinism property tests. A nil *Tracer is valid and drops everything.
+//
+// Deprecated: the printf path is the legacy trace mechanism. New
+// instrumentation should use telemetry.TraceBuffer, which records
+// structured span/instant events and exports a Perfetto-compatible
+// timeline; a Tracer can forward its records into one via SetSink.
 type Tracer struct {
-	eng  *Engine
-	w    io.Writer
-	recs []string
-	keep bool
+	eng     *Engine
+	w       io.Writer
+	recs    []string
+	keep    bool
+	limit   int
+	dropped uint64
+	sink    func(at Time, msg string)
 }
 
 // NewTracer returns a tracer bound to eng. If w is non-nil every record is
-// written to it; if keep is true records are also retained in memory.
+// written to it; if keep is true the most recent DefaultKeepLimit records
+// are also retained in memory (see SetKeepLimit).
 func NewTracer(eng *Engine, w io.Writer, keep bool) *Tracer {
-	return &Tracer{eng: eng, w: w, keep: keep}
+	return &Tracer{eng: eng, w: w, keep: keep, limit: DefaultKeepLimit}
+}
+
+// SetKeepLimit bounds in-memory retention to the most recent n records
+// (n <= 0 restores DefaultKeepLimit). Retained records beyond the new
+// limit are dropped immediately.
+func (t *Tracer) SetKeepLimit(n int) {
+	if t == nil {
+		return
+	}
+	if n <= 0 {
+		n = DefaultKeepLimit
+	}
+	t.limit = n
+	t.trim()
+}
+
+// SetSink forwards every record (with its simulated timestamp and the
+// formatted message, without the timestamp prefix) to fn — the bridge
+// from legacy Logf call sites into the structured telemetry tracer.
+func (t *Tracer) SetSink(fn func(at Time, msg string)) {
+	if t == nil {
+		return
+	}
+	t.sink = fn
 }
 
 // Logf records a formatted event at the current simulated time.
@@ -25,19 +62,45 @@ func (t *Tracer) Logf(format string, args ...any) {
 	if t == nil {
 		return
 	}
-	rec := fmt.Sprintf("[%12v] %s", t.eng.Now(), fmt.Sprintf(format, args...))
+	msg := fmt.Sprintf(format, args...)
+	if t.sink != nil {
+		t.sink(t.eng.Now(), msg)
+	}
+	if t.w == nil && !t.keep {
+		return
+	}
+	rec := fmt.Sprintf("[%12v] %s", t.eng.Now(), msg)
 	if t.w != nil {
 		fmt.Fprintln(t.w, rec)
 	}
 	if t.keep {
 		t.recs = append(t.recs, rec)
+		t.trim()
 	}
 }
 
-// Records returns the retained records.
+// trim enforces the retention limit, dropping the oldest records.
+func (t *Tracer) trim() {
+	if n := len(t.recs) - t.limit; n > 0 {
+		t.dropped += uint64(n)
+		t.recs = append(t.recs[:0], t.recs[n:]...)
+	}
+}
+
+// Records returns the retained records (the most recent ones when the
+// retention limit has been exceeded).
 func (t *Tracer) Records() []string {
 	if t == nil {
 		return nil
 	}
 	return t.recs
+}
+
+// Dropped reports how many retained records were discarded to honour the
+// retention limit.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
 }

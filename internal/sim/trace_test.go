@@ -38,3 +38,49 @@ func TestTracerNoKeep(t *testing.T) {
 		t.Error("records kept despite keep=false")
 	}
 }
+
+func TestTracerRetentionBounded(t *testing.T) {
+	eng := NewEngine(1)
+	tr := NewTracer(eng, nil, true)
+	tr.SetKeepLimit(8)
+	for i := 0; i < 100; i++ {
+		tr.Logf("rec %d", i)
+	}
+	recs := tr.Records()
+	if len(recs) != 8 {
+		t.Fatalf("retained %d records, want 8", len(recs))
+	}
+	if !strings.Contains(recs[len(recs)-1], "rec 99") || !strings.Contains(recs[0], "rec 92") {
+		t.Errorf("retention must keep the most recent records: %v", recs)
+	}
+	if tr.Dropped() != 92 {
+		t.Errorf("dropped = %d, want 92", tr.Dropped())
+	}
+	// Default limit applies without SetKeepLimit.
+	tr2 := NewTracer(eng, nil, true)
+	for i := 0; i < DefaultKeepLimit+10; i++ {
+		tr2.Logf("x")
+	}
+	if len(tr2.Records()) != DefaultKeepLimit {
+		t.Errorf("default retention = %d, want %d", len(tr2.Records()), DefaultKeepLimit)
+	}
+}
+
+func TestTracerSink(t *testing.T) {
+	eng := NewEngine(1)
+	tr := NewTracer(eng, nil, false)
+	var gotAt Time
+	var gotMsg string
+	tr.SetSink(func(at Time, msg string) { gotAt, gotMsg = at, msg })
+	eng.Schedule(3*Microsecond, func() { tr.Logf("hello %d", 7) })
+	eng.Run()
+	if gotMsg != "hello 7" || gotAt != Time(0).Add(3*Microsecond) {
+		t.Errorf("sink got (%v, %q)", gotAt, gotMsg)
+	}
+	var nilTr *Tracer
+	nilTr.SetSink(func(Time, string) {}) // must not panic
+	nilTr.SetKeepLimit(4)
+	if nilTr.Dropped() != 0 {
+		t.Error("nil tracer dropped != 0")
+	}
+}

@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"testing"
+
+	"strom/internal/sim"
+)
+
+// The disabled-telemetry contract: every hot-path hook is a nil-receiver
+// no-op with zero allocations, so instrumented components keep the DES
+// scheduler's 0 allocs/op fast path (PR 1) when no registry or trace
+// buffer is attached.
+
+func TestDisabledHooksZeroAlloc(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var tb *TraceBuffer
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1)
+		h.Observe(sim.Nanosecond)
+		h.ObserveInt(5)
+		tb.Instant(1, 1, "c", "n", "")
+		tb.Complete(1, 1, "c", "n", 0, 1, "")
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled telemetry hooks allocate: %v allocs/op", allocs)
+	}
+}
+
+func TestEnabledCounterHistogramZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h", "ps")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		h.Observe(sim.Microsecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state counter/histogram updates allocate: %v allocs/op", allocs)
+	}
+}
+
+func BenchmarkDisabledCounterInc(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkDisabledHistogramObserve(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(sim.Duration(i))
+	}
+}
+
+func BenchmarkDisabledTraceInstant(b *testing.B) {
+	var tb *TraceBuffer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb.Instant(1, 1, "cat", "name", "")
+	}
+}
+
+func BenchmarkEnabledCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkEnabledHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("h", "ps")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(sim.Duration(i))
+	}
+}

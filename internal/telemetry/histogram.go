@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"math/bits"
+
+	"strom/internal/sim"
+)
+
+// histBuckets is the fixed bucket count: bucket i holds observations v
+// with bits.Len64(v) == i, i.e. power-of-two ranges [2^(i-1), 2^i).
+// 64 buckets cover every non-negative int64, so Observe never allocates.
+const histBuckets = 65
+
+// Histogram accumulates a distribution of non-negative integer samples —
+// sim-time durations in picoseconds, queue depths, occupancies — in
+// log2-spaced buckets. Recording is allocation-free; quantiles are
+// estimated at export time by linear interpolation inside the bucket.
+// The nil Histogram discards observations.
+type Histogram struct {
+	unit    string
+	count   uint64
+	sum     int64
+	min     int64
+	max     int64
+	buckets [histBuckets]uint64
+}
+
+// Observe records the duration d (negative values are clamped to zero).
+func (h *Histogram) Observe(d sim.Duration) { h.ObserveInt(int64(d)) }
+
+// ObserveInt records a raw integer sample.
+func (h *Histogram) ObserveInt(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bits.Len64(uint64(v))]++
+}
+
+// Count returns the number of samples (zero for the nil Histogram).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the sample total (zero for the nil Histogram).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the buckets: the
+// target rank is located in its bucket and the value is interpolated
+// linearly across the bucket's range. Exact for min and max.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return float64(h.min)
+	}
+	if q >= 1 {
+		return float64(h.max)
+	}
+	rank := q * float64(h.count)
+	var seen float64
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		if seen+float64(n) >= rank {
+			lo, hi := bucketBounds(i)
+			if float64(h.min) > lo {
+				lo = float64(h.min)
+			}
+			if float64(h.max) < hi {
+				hi = float64(h.max)
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (rank - seen) / float64(n)
+			return lo + frac*(hi-lo)
+		}
+		seen += float64(n)
+	}
+	return float64(h.max)
+}
+
+// bucketBounds returns the [lo, hi) value range of bucket i.
+func bucketBounds(i int) (lo, hi float64) {
+	if i == 0 {
+		return 0, 0 // bits.Len64(0) == 0: the zero-valued samples
+	}
+	return float64(int64(1) << (i - 1)), float64(int64(1) << i)
+}
+
+// histogramSnapshot is the JSON shape of one exported histogram. Buckets
+// are emitted as a map from the bucket's inclusive lower bound to its
+// count; encoding/json sorts the keys, keeping output deterministic.
+type histogramSnapshot struct {
+	Unit  string            `json:"unit,omitempty"`
+	Count uint64            `json:"count"`
+	Sum   int64             `json:"sum"`
+	Min   int64             `json:"min"`
+	Max   int64             `json:"max"`
+	Mean  float64           `json:"mean"`
+	P50   float64           `json:"p50"`
+	P90   float64           `json:"p90"`
+	P99   float64           `json:"p99"`
+	Bkts  map[string]uint64 `json:"buckets,omitempty"`
+}
+
+func (h *Histogram) snapshot() *histogramSnapshot {
+	s := &histogramSnapshot{Unit: h.unit, Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	if h.count > 0 {
+		s.Mean = float64(h.sum) / float64(h.count)
+		s.P50 = h.Quantile(0.50)
+		s.P90 = h.Quantile(0.90)
+		s.P99 = h.Quantile(0.99)
+		s.Bkts = make(map[string]uint64)
+		for i, n := range h.buckets {
+			if n == 0 {
+				continue
+			}
+			lo, _ := bucketBounds(i)
+			s.Bkts[formatBucketKey(int64(lo))] = n
+		}
+	}
+	return s
+}
+
+// formatBucketKey renders a bucket lower bound zero-padded to 20 digits
+// so that the lexicographic key order encoding/json emits matches numeric
+// order.
+func formatBucketKey(v int64) string {
+	var buf [20]byte
+	for i := len(buf) - 1; i >= 0; i-- {
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[:])
+}

@@ -1,0 +1,28 @@
+package telemetry
+
+import "strom/internal/sim"
+
+// Probe samples fn every interval of simulated time, driven by the DES
+// engine itself. The probe rides along with the simulation: after each
+// sample it reschedules only while other events remain queued, so probes
+// observe the full lifetime of a workload without keeping an otherwise
+// finished simulation alive (Engine.Run terminates when the queue
+// drains).
+//
+// Install probes after the workload has been scheduled: a probe whose
+// first tick finds an empty queue stops immediately. Sampling order at
+// equal timestamps follows scheduling order, like every engine event, so
+// probe output is deterministic.
+func Probe(eng *sim.Engine, every sim.Duration, fn func(now sim.Time)) {
+	if eng == nil || fn == nil || every <= 0 {
+		return
+	}
+	var tick func()
+	tick = func() {
+		fn(eng.Now())
+		if eng.Pending() > 0 {
+			eng.Schedule(every, tick)
+		}
+	}
+	eng.Schedule(every, tick)
+}

@@ -1,0 +1,202 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Counter is a monotonically increasing value. The nil Counter discards
+// updates.
+type Counter struct{ v uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Set overwrites the counter (used by collect callbacks that mirror an
+// existing stats struct into the registry).
+func (c *Counter) Set(v uint64) {
+	if c == nil {
+		return
+	}
+	c.v = v
+}
+
+// Value returns the current count (zero for the nil Counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a point-in-time value. The nil Gauge discards updates.
+type Gauge struct{ v float64 }
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+}
+
+// Value returns the current value (zero for the nil Gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Registry is a label-keyed collection of metrics. It is not safe for
+// concurrent use: like every simulated component, a registry belongs to
+// one engine and is only touched from that engine's event callbacks (or
+// from the single goroutine that owns the run). Distinct registries on
+// distinct engines are fully independent, which is what keeps `-j N`
+// harness runs byte-identical.
+//
+// The nil *Registry is valid and inert: metric constructors return nil
+// handles and OnCollect/Collect do nothing.
+type Registry struct {
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	collectors []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter for name+labels, creating it on first use.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	k := metricKey(name, labels)
+	c, ok := r.counters[k]
+	if !ok {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge for name+labels, creating it on first use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	k := metricKey(name, labels)
+	g, ok := r.gauges[k]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram for name+labels, creating it on first
+// use. unit documents the observed quantity ("ps", "frames", ...) and is
+// recorded in the export; the unit of the first registration wins.
+func (r *Registry) Histogram(name, unit string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	k := metricKey(name, labels)
+	h, ok := r.histograms[k]
+	if !ok {
+		h = &Histogram{unit: unit}
+		r.histograms[k] = h
+	}
+	return h
+}
+
+// OnCollect registers fn to run before every export. Components use this
+// to mirror their existing stats structs into the registry without
+// touching their hot paths.
+func (r *Registry) OnCollect(fn func()) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.collectors = append(r.collectors, fn)
+}
+
+// Collect runs the registered collect callbacks.
+func (r *Registry) Collect() {
+	if r == nil {
+		return
+	}
+	for _, fn := range r.collectors {
+		fn()
+	}
+}
+
+// snapshot is the JSON shape of an exported registry. encoding/json
+// serializes map keys in sorted order, which gives the stable iteration
+// order the determinism contract requires.
+type snapshot struct {
+	Counters   map[string]uint64             `json:"counters"`
+	Gauges     map[string]float64            `json:"gauges"`
+	Histograms map[string]*histogramSnapshot `json:"histograms"`
+}
+
+// Snapshot runs the collectors and returns the registry as plain maps
+// keyed by the canonical metric key.
+func (r *Registry) Snapshot() (counters map[string]uint64, gauges map[string]float64) {
+	if r == nil {
+		return nil, nil
+	}
+	r.Collect()
+	counters = make(map[string]uint64, len(r.counters))
+	for k, c := range r.counters {
+		counters[k] = c.v
+	}
+	gauges = make(map[string]float64, len(r.gauges))
+	for k, g := range r.gauges {
+		gauges[k] = g.v
+	}
+	return counters, gauges
+}
+
+// WriteJSON collects and writes the whole registry as indented JSON with
+// deterministically sorted keys.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snap := snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]*histogramSnapshot{},
+	}
+	if r != nil {
+		r.Collect()
+		for k, c := range r.counters {
+			snap.Counters[k] = c.v
+		}
+		for k, g := range r.gauges {
+			snap.Gauges[k] = g.v
+		}
+		for k, h := range r.histograms {
+			snap.Histograms[k] = h.snapshot()
+		}
+	}
+	out, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	_, err = w.Write(out)
+	return err
+}

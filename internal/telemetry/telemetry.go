@@ -1,0 +1,57 @@
+// Package telemetry is the observability layer of the simulated StRoM
+// stack: a label-keyed registry of counters, gauges and sim-time
+// histograms (per NIC, per QP, per kernel, per link), periodic sampling
+// probes driven by the DES engine, and a structured span/instant tracer
+// that exports Chrome trace-event JSON loadable in Perfetto.
+//
+// The whole package is nil-tolerant: a nil *Registry hands out nil metric
+// handles, and every method on a nil handle (Counter.Add, Gauge.Set,
+// Histogram.Observe, TraceBuffer.Instant, ...) is an allocation-free
+// no-op. Components therefore instrument their hot paths unconditionally
+// and pay a single pointer compare when telemetry is disabled, which
+// preserves the DES scheduler's zero-allocation fast path.
+//
+// Determinism contract: all state is driven by simulated time and by the
+// (single-goroutine) engine that owns the components, registries sort
+// their contents at export time, and the JSON encoders are deterministic
+// — so metrics and trace output are byte-identical across same-seed runs
+// regardless of harness parallelism.
+package telemetry
+
+import (
+	"sort"
+	"strings"
+)
+
+// Label is one key=value dimension of a metric.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// metricKey renders the canonical identity of a metric: the name followed
+// by its labels sorted by key, in a Prometheus-like notation. Sorting at
+// registration time makes export order independent of call-site label
+// order.
+func metricKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -12,6 +12,7 @@ import (
 	"strom/internal/packet"
 	"strom/internal/roce"
 	"strom/internal/sim"
+	"strom/internal/telemetry"
 )
 
 // Pair is the two-machine testbed. QP 1 on A is connected to QP 2 on B,
@@ -56,6 +57,52 @@ func New(seed int64, cfg core.Config, linkCfg fabric.LinkConfig, bufSize int) (*
 		return nil, fmt.Errorf("testrig: %w", err)
 	}
 	return &Pair{Eng: eng, A: a, B: b, Link: link, BufA: bufA, BufB: bufB}, nil
+}
+
+// Trace process (pid) layout of the instrumented testbed.
+const (
+	PidA    uint32 = 1
+	PidB    uint32 = 2
+	PidLink uint32 = 3
+)
+
+// Telemetry bundles the observability layer of an instrumented testbed.
+type Telemetry struct {
+	Registry *telemetry.Registry
+	Trace    *telemetry.TraceBuffer
+}
+
+// Instrument attaches a fresh metrics registry and trace buffer to both
+// NICs and the link: NIC A under pid 1, NIC B under pid 2, the cable
+// under pid 3. Call after deploying kernels (each deployment gets a
+// trace lane) and before running the workload.
+func (p *Pair) Instrument() *Telemetry {
+	reg := telemetry.NewRegistry()
+	tb := telemetry.NewTrace(p.Eng)
+	p.A.AttachTelemetry(reg, tb, PidA, "A")
+	p.B.AttachTelemetry(reg, tb, PidB, "B")
+	p.Link.AttachTelemetry(reg, tb, PidLink)
+	return &Telemetry{Registry: reg, Trace: tb}
+}
+
+// StartProbes installs a periodic sampling probe that records both NICs'
+// occupancy signals (kernel in-flight DMA, per-QP outstanding work,
+// doorbell backlog) and the link utilisation every interval of simulated
+// time. Install after the workload has been scheduled: the probe stops
+// with the simulation (see telemetry.Probe).
+func (p *Pair) StartProbes(tel *Telemetry, every sim.Duration) {
+	if tel == nil {
+		return
+	}
+	telemetry.Probe(p.Eng, every, func(sim.Time) {
+		p.A.TelemetrySample()
+		p.B.TelemetrySample()
+		aToB, bToA := p.Link.Utilisations()
+		tel.Registry.Histogram("link_utilisation_samples", "fraction",
+			telemetry.L("dir", "a-to-b")).ObserveInt(int64(aToB * 100))
+		tel.Registry.Histogram("link_utilisation_samples", "fraction",
+			telemetry.L("dir", "b-to-a")).ObserveInt(int64(bToA * 100))
+	})
 }
 
 // New10G is the common case: the 10 G testbed with 32 MB buffers.
