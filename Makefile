@@ -1,13 +1,8 @@
 GO ?= go
 
-# Packages where goroutines actually run concurrently (the parallel
-# experiment harness and everything its workers touch); the race pass
-# covers these on top of the full regular suite.
-RACE_PKGS = ./internal/sim ./internal/fabric ./internal/experiments
+.PHONY: check vet build test race cover fuzz bench
 
-.PHONY: check vet build test race bench
-
-check: vet build test race
+check: build test
 
 vet:
 	$(GO) vet ./...
@@ -15,11 +10,23 @@ vet:
 build:
 	$(GO) build ./...
 
-test:
-	$(GO) test ./...
+# test is the tier-1 gate: vet plus the full suite under the race
+# detector (the parallel experiment harness and the concurrent telemetry
+# determinism tests make every package worth racing).
+test: vet
+	$(GO) test -race ./...
 
-race:
-	$(GO) test -race $(RACE_PKGS)
+race: test
+
+# cover prints the per-package statement-coverage summary.
+cover:
+	$(GO) test -cover ./...
+
+# fuzz smoke-runs the checked-in fuzzers for 10s each on top of their
+# seed corpora (packet header round-trip, CRC slicing equivalence).
+fuzz:
+	$(GO) test ./internal/packet -fuzz=FuzzHeaderRoundTrip -fuzztime=10s
+	$(GO) test ./internal/crc -fuzz=FuzzCRCSlicingEquivalence -fuzztime=10s
 
 # bench runs the microbenchmarks (root macro benches plus the scheduler
 # and telemetry hot paths) and then the quick experiment suite with the

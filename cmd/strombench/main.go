@@ -4,12 +4,19 @@
 // Usage:
 //
 //	strombench -list
-//	strombench [-quick|-full] [-seed N] [-j N] [-csv DIR]
+//	strombench [-quick|-full] [-chaos] [-seed N] [-j N] [-csv DIR]
 //	           [-metrics FILE] [-trace FILE] [exp ...]
 //
 // With no experiment names, everything runs in paper order followed by
 // the ablations. Experiment names are table1, table2, table3, resources,
-// fig5a...fig13b, and abl-*.
+// fig5a...fig13b, abl-*, and chaos-*.
+//
+// -chaos selects the fault-injection suite instead: with no names it
+// runs the chaos generators (bursty loss and link-flap sweeps, each with
+// the protocol invariant checker attached), and -metrics/-trace export
+// the chaos scenario (experiments.WriteChaosTelemetry) instead of the
+// clean one. Chaos runs are driven entirely off the engine RNG, so
+// re-running with the same -seed replays the identical fault schedule.
 //
 // Figure generators are independent simulations, so -j runs them on a
 // worker pool. Results are printed in request order and each generator
@@ -37,6 +44,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "reduced iteration counts (smoke test)")
 	full := flag.Bool("full", false, "paper-scale inputs (Fig. 11 runs the real 128-1024 MB)")
+	chaosSuite := flag.Bool("chaos", false, "run the fault-injection suite; -metrics/-trace export the chaos scenario")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	jobs := flag.Int("j", experiments.DefaultParallelism(), "experiment generators to run in parallel")
 	list := flag.Bool("list", false, "list experiment names and exit")
@@ -47,7 +55,7 @@ func main() {
 
 	if *list {
 		fmt.Println("table1 table2 table3 resources")
-		for _, g := range append(experiments.Figures(), experiments.Ablations()...) {
+		for _, g := range allGenerators() {
 			fmt.Println(g.Name)
 		}
 		return
@@ -65,9 +73,15 @@ func main() {
 	names := flag.Args()
 	preamble := false
 	if len(names) == 0 {
-		preamble = true // whole suite: lead with the static tables
-		for _, g := range append(experiments.Figures(), experiments.Ablations()...) {
-			names = append(names, g.Name)
+		if *chaosSuite {
+			for _, g := range experiments.Chaos() {
+				names = append(names, g.Name)
+			}
+		} else {
+			preamble = true // whole suite: lead with the static tables
+			for _, g := range append(experiments.Figures(), experiments.Ablations()...) {
+				names = append(names, g.Name)
+			}
 		}
 	}
 
@@ -75,15 +89,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "strombench:", err)
 		os.Exit(1)
 	}
-	if err := writeTelemetry(opts, *metricsOut, *traceOut); err != nil {
+	if err := writeTelemetry(opts, *chaosSuite, *metricsOut, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "strombench:", err)
 		os.Exit(1)
 	}
 }
 
-// writeTelemetry runs the instrumented scenario once and writes the
-// requested exports. A no-op when neither flag was given.
-func writeTelemetry(opts experiments.Options, metricsPath, tracePath string) error {
+// allGenerators lists every runnable generator: the paper figures, the
+// ablations and the chaos suite.
+func allGenerators() []experiments.Generator {
+	gens := append(experiments.Figures(), experiments.Ablations()...)
+	return append(gens, experiments.Chaos()...)
+}
+
+// writeTelemetry runs the instrumented scenario once (the chaos one when
+// chaosSuite is set) and writes the requested exports. A no-op when
+// neither flag was given.
+func writeTelemetry(opts experiments.Options, chaosSuite bool, metricsPath, tracePath string) error {
 	if metricsPath == "" && tracePath == "" {
 		return nil
 	}
@@ -108,7 +130,11 @@ func writeTelemetry(opts experiments.Options, metricsPath, tracePath string) err
 			return err
 		}
 	}
-	err = experiments.WriteTelemetry(opts, metricsW, traceW)
+	scenario := experiments.WriteTelemetry
+	if chaosSuite {
+		scenario = experiments.WriteChaosTelemetry
+	}
+	err = scenario(opts, metricsW, traceW)
 	for _, f := range files {
 		if cerr := f.Close(); err == nil {
 			err = cerr
@@ -122,7 +148,7 @@ func writeTelemetry(opts experiments.Options, metricsPath, tracePath string) err
 // order.
 func run(names []string, opts experiments.Options, jobs int, csvDir string, preamble bool) error {
 	byName := make(map[string]experiments.Generator)
-	for _, g := range append(experiments.Figures(), experiments.Ablations()...) {
+	for _, g := range allGenerators() {
 		byName[g.Name] = g
 	}
 

@@ -1,0 +1,290 @@
+package chaos
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"strom/internal/crc"
+	"strom/internal/fabric"
+	"strom/internal/pcie"
+	"strom/internal/sim"
+	"strom/internal/telemetry"
+)
+
+// Kind classifies one injected fault.
+type Kind uint8
+
+// Fault kinds.
+const (
+	KindDrop    Kind = iota // Gilbert–Elliott loss
+	KindFlap                // frame dropped inside a link-down window
+	KindCorrupt             // one bit flipped
+	KindDup                 // frame duplicated
+	KindReorder             // frame delayed past later frames
+	KindStall               // DMA command deferred to a stall window's end
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindDrop:
+		return "drop"
+	case KindFlap:
+		return "flap"
+	case KindCorrupt:
+		return "corrupt"
+	case KindDup:
+		return "dup"
+	case KindReorder:
+		return "reorder"
+	case KindStall:
+		return "stall"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Record is one injected fault: what happened, where, when, and the extra
+// delay (for reorder, duplication and stall faults).
+type Record struct {
+	At    sim.Time
+	Where string // "a-to-b", "b-to-a", "dma-a", "dma-b"
+	Kind  Kind
+	Extra sim.Duration
+}
+
+// String formats the record for logs and violation reports.
+func (r Record) String() string {
+	if r.Extra != 0 {
+		return fmt.Sprintf("%v %s %v (+%v)", r.At, r.Where, r.Kind, r.Extra)
+	}
+	return fmt.Sprintf("%v %s %v", r.At, r.Where, r.Kind)
+}
+
+// Stats counts injected faults by kind.
+type Stats struct {
+	Dropped     uint64
+	FlapDropped uint64
+	Corrupted   uint64
+	Duplicated  uint64
+	Reordered   uint64
+	Stalled     uint64
+}
+
+// Total returns the total fault count.
+func (s Stats) Total() uint64 {
+	return s.Dropped + s.FlapDropped + s.Corrupted + s.Duplicated + s.Reordered + s.Stalled
+}
+
+// windowCursor walks a sorted window list; judge times are monotone (DES
+// events fire in time order), so membership tests are amortized O(1).
+type windowCursor struct {
+	ws []Window
+	i  int
+}
+
+// active reports whether now falls inside a window, and returns it.
+func (c *windowCursor) active(now sim.Time) (Window, bool) {
+	for c.i < len(c.ws) && now >= c.ws[c.i].End() {
+		c.i++
+	}
+	if c.i < len(c.ws) && now >= c.ws[c.i].At {
+		return c.ws[c.i], true
+	}
+	return Window{}, false
+}
+
+// dirState is the per-direction injector state (the GE chain position).
+type dirState struct {
+	where string
+	f     LinkFaults
+	bad   bool // Gilbert–Elliott chain in the bad state
+}
+
+// Injector drives a Plan against the testbed. All decisions come from the
+// engine's RNG and the engine clock, so the injected fault schedule is a
+// deterministic function of (plan, seed) — ScheduleDigest pins it.
+type Injector struct {
+	eng  *sim.Engine
+	plan Plan
+
+	ab, ba dirState
+	flaps  windowCursor
+	stallA windowCursor
+	stallB windowCursor
+
+	st     Stats
+	log    []Record
+	digest *crc.Digest64
+}
+
+// New builds an injector for the plan on the engine's clock and RNG.
+func New(eng *sim.Engine, plan Plan) *Injector {
+	plan = plan.normalized()
+	return &Injector{
+		eng:    eng,
+		plan:   plan,
+		ab:     dirState{where: "a-to-b", f: plan.AtoB},
+		ba:     dirState{where: "b-to-a", f: plan.BtoA},
+		flaps:  windowCursor{ws: plan.Flaps},
+		stallA: windowCursor{ws: plan.StallsA},
+		stallB: windowCursor{ws: plan.StallsB},
+		digest: crc.NewDigest64(),
+	}
+}
+
+// record logs a fault (bounded) and folds it into the schedule digest
+// (unbounded).
+func (j *Injector) record(r Record) {
+	if len(j.log) < j.plan.LogLimit {
+		j.log = append(j.log, r)
+	}
+	var buf [17]byte
+	binary.LittleEndian.PutUint64(buf[0:], uint64(r.At))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(r.Extra))
+	buf[16] = uint8(r.Kind)
+	j.digest.Write(buf[:])
+	j.digest.Write([]byte(r.Where))
+}
+
+// judge makes the per-frame decision for one direction.
+func (j *Injector) judge(d *dirState, now sim.Time) fabric.Verdict {
+	var v fabric.Verdict
+	if _, down := j.flaps.active(now); down {
+		j.st.FlapDropped++
+		j.record(Record{At: now, Where: d.where, Kind: KindFlap})
+		v.Drop = true
+		return v
+	}
+	f := &d.f
+	rng := j.eng.Rand()
+	if f.Loss.enabled() {
+		if d.bad {
+			if rng.Float64() < f.Loss.PBadGood {
+				d.bad = false
+			}
+		} else if rng.Float64() < f.Loss.PGoodBad {
+			d.bad = true
+		}
+		p := f.Loss.LossGood
+		if d.bad {
+			p = f.Loss.LossBad
+		}
+		if p > 0 && rng.Float64() < p {
+			j.st.Dropped++
+			j.record(Record{At: now, Where: d.where, Kind: KindDrop})
+			v.Drop = true
+			return v
+		}
+	}
+	if f.CorruptProb > 0 && rng.Float64() < f.CorruptProb {
+		j.st.Corrupted++
+		j.record(Record{At: now, Where: d.where, Kind: KindCorrupt})
+		v.Corrupt = true
+	}
+	if f.DupProb > 0 && rng.Float64() < f.DupProb {
+		j.st.Duplicated++
+		j.record(Record{At: now, Where: d.where, Kind: KindDup, Extra: f.DupDelay})
+		v.Duplicate = true
+		v.DupDelay = f.DupDelay
+	}
+	if f.ReorderProb > 0 && f.ReorderMax > 0 && rng.Float64() < f.ReorderProb {
+		delay := sim.Duration(1 + rng.Int63n(int64(f.ReorderMax)))
+		j.st.Reordered++
+		j.record(Record{At: now, Where: d.where, Kind: KindReorder, Extra: delay})
+		v.Delay = delay
+	}
+	return v
+}
+
+// dirInjector adapts one direction to fabric.FaultInjector.
+type dirInjector struct {
+	j *Injector
+	d *dirState
+}
+
+// Judge implements fabric.FaultInjector.
+func (di dirInjector) Judge(now sim.Time, frameLen int) fabric.Verdict {
+	return di.j.judge(di.d, now)
+}
+
+// AtoB returns the fault injector for the A→B direction (nil when the
+// plan injects nothing there, keeping the fabric's fast path clean).
+func (j *Injector) AtoB() fabric.FaultInjector {
+	if !j.plan.AtoB.enabled() && len(j.plan.Flaps) == 0 {
+		return nil
+	}
+	return dirInjector{j: j, d: &j.ab}
+}
+
+// BtoA returns the fault injector for the B→A direction.
+func (j *Injector) BtoA() fabric.FaultInjector {
+	if !j.plan.BtoA.enabled() && len(j.plan.Flaps) == 0 {
+		return nil
+	}
+	return dirInjector{j: j, d: &j.ba}
+}
+
+// stallFn builds a pcie.StallFn over a window cursor.
+func (j *Injector) stallFn(cur *windowCursor, where string) pcie.StallFn {
+	if len(cur.ws) == 0 {
+		return nil
+	}
+	return func(now sim.Time) sim.Duration {
+		w, in := cur.active(now)
+		if !in {
+			return 0
+		}
+		d := w.End().Sub(now)
+		j.st.Stalled++
+		j.record(Record{At: now, Where: where, Kind: KindStall, Extra: d})
+		return d
+	}
+}
+
+// StallA returns the DMA stall hook for machine A (nil when unused).
+func (j *Injector) StallA() pcie.StallFn { return j.stallFn(&j.stallA, "dma-a") }
+
+// StallB returns the DMA stall hook for machine B (nil when unused).
+func (j *Injector) StallB() pcie.StallFn { return j.stallFn(&j.stallB, "dma-b") }
+
+// Apply wires the injector into a link and the two DMA engines. Any
+// argument may be nil to skip that attachment.
+func (j *Injector) Apply(link *fabric.Link, dmaA, dmaB *pcie.Engine) {
+	if link != nil {
+		link.SetFaultsAtoB(j.AtoB())
+		link.SetFaultsBtoA(j.BtoA())
+	}
+	if dmaA != nil {
+		dmaA.SetStall(j.StallA())
+	}
+	if dmaB != nil {
+		dmaB.SetStall(j.StallB())
+	}
+}
+
+// Stats returns the fault counters.
+func (j *Injector) Stats() Stats { return j.st }
+
+// Records returns the retained fault log (bounded by Plan.LogLimit, in
+// injection order).
+func (j *Injector) Records() []Record { return j.log }
+
+// ScheduleDigest returns a CRC64 over every injected fault (time, site,
+// kind, delay) in injection order. Two runs of the same plan at the same
+// seed must produce equal digests — the replayability contract.
+func (j *Injector) ScheduleDigest() uint64 { return j.digest.Sum64() }
+
+// AttachTelemetry mirrors the fault counters into a metrics registry.
+func (j *Injector) AttachTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.OnCollect(func() {
+		reg.Counter("chaos_dropped").Set(j.st.Dropped)
+		reg.Counter("chaos_flap_dropped").Set(j.st.FlapDropped)
+		reg.Counter("chaos_corrupted").Set(j.st.Corrupted)
+		reg.Counter("chaos_duplicated").Set(j.st.Duplicated)
+		reg.Counter("chaos_reordered").Set(j.st.Reordered)
+		reg.Counter("chaos_dma_stalled").Set(j.st.Stalled)
+	})
+}

@@ -133,3 +133,93 @@ func TestTelemetryMetricsContent(t *testing.T) {
 		t.Errorf("trace envelope missing displayTimeUnit")
 	}
 }
+
+// The chaos scenario inherits the same determinism contract: metrics and
+// trace exports are byte-identical across repeated same-seed runs,
+// including concurrent ones — which also proves the injected fault
+// schedule itself replays exactly (the fault counters are in the
+// metrics).
+func TestChaosTelemetryDeterministic(t *testing.T) {
+	var m0, tr0 bytes.Buffer
+	if err := WriteChaosTelemetry(Quick(), &m0, &tr0); err != nil {
+		t.Fatalf("WriteChaosTelemetry: %v", err)
+	}
+	const workers = 4
+	var wg sync.WaitGroup
+	ms := make([]string, workers)
+	trs := make([]string, workers)
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var m, tr bytes.Buffer
+			errs[i] = WriteChaosTelemetry(Quick(), &m, &tr)
+			ms[i], trs[i] = m.String(), tr.String()
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("concurrent chaos run %d: %v", i, errs[i])
+		}
+		if ms[i] != m0.String() {
+			t.Errorf("concurrent chaos run %d: metrics differ from sequential run", i)
+		}
+		if trs[i] != tr0.String() {
+			t.Errorf("concurrent chaos run %d: trace differs from sequential run", i)
+		}
+	}
+}
+
+// The chaos scenario's metrics must show both the injected faults and
+// the reliability machinery they exercised.
+func TestChaosTelemetryMetricsContent(t *testing.T) {
+	var m, tr bytes.Buffer
+	if err := WriteChaosTelemetry(Quick(), &m, &tr); err != nil {
+		t.Fatalf("WriteChaosTelemetry: %v", err)
+	}
+	var snap struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.Unmarshal(m.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics JSON: %v", err)
+	}
+	for _, key := range []string{
+		"chaos_dropped",
+		"chaos_flap_dropped",
+		"chaos_duplicated",
+		"chaos_reordered",
+		"chaos_dma_stalled",
+		"roce_retransmissions{nic=10.0.0.1}",
+		"link_dropped{dir=a-to-b}",
+		"pcie_dma_stalled_commands{nic=A}",
+	} {
+		if snap.Counters[key] == 0 {
+			t.Errorf("counter %q missing or zero", key)
+		}
+	}
+}
+
+// The chaos figure generators are pure functions of Options, so the
+// rendered figures (what strombench prints) must be byte-identical at
+// every -j value.
+func TestChaosSuiteDeterministicAcrossJ(t *testing.T) {
+	render := func(parallelism int) []string {
+		out := make([]string, 0, 2)
+		for _, r := range RunGenerators(Chaos(), Quick(), parallelism) {
+			if r.Err != nil {
+				t.Fatalf("%s (j=%d): %v", r.Name, parallelism, r.Err)
+			}
+			out = append(out, r.Fig.String()+"\n"+r.Fig.CSV())
+		}
+		return out
+	}
+	j1 := render(1)
+	j4 := render(4)
+	for i := range j1 {
+		if j1[i] != j4[i] {
+			t.Errorf("chaos figure %d differs between -j 1 and -j 4", i)
+		}
+	}
+}

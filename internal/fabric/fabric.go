@@ -34,12 +34,33 @@ type Impairment struct {
 	CorruptProb float64 // probability one bit of the frame is flipped
 }
 
+// Verdict is a FaultInjector's decision for one frame.
+type Verdict struct {
+	Drop      bool         // discard the frame entirely
+	Corrupt   bool         // flip one random bit of the delivered copy
+	Duplicate bool         // deliver a second, independent copy
+	Delay     sim.Duration // extra delivery delay (causes reordering)
+	DupDelay  sim.Duration // extra delay of the duplicate copy, on top of Delay
+}
+
+// FaultInjector decides the fate of every frame entering a link
+// direction. It is consulted once per frame, at the simulated time the
+// frame is handed to the wire, and must be deterministic (draw
+// randomness from the owning engine's RNG only). internal/chaos provides
+// the full bursty-loss/reorder/duplication/flap implementation; tests
+// install small deterministic schedules ("drop exactly frame k").
+type FaultInjector interface {
+	Judge(now sim.Time, frameLen int) Verdict
+}
+
 // Stats counts per-direction link activity.
 type Stats struct {
-	Frames    uint64
-	Bytes     uint64 // wire bytes including framing overhead
-	Dropped   uint64
-	Corrupted uint64
+	Frames     uint64
+	Bytes      uint64 // wire bytes including framing overhead
+	Dropped    uint64
+	Corrupted  uint64
+	Duplicated uint64 // extra copies delivered by a FaultInjector
+	Delayed    uint64 // frames held back by a FaultInjector (reordering)
 }
 
 // direction is one side of a full-duplex link.
@@ -49,6 +70,7 @@ type direction struct {
 	gbps   float64
 	prop   sim.Duration
 	imp    Impairment
+	faults FaultInjector
 	dst    Endpoint
 	stats  Stats
 	tracer *sim.Tracer
@@ -64,7 +86,14 @@ func (d *direction) send(frame []byte) {
 	wireBytes := len(frame) + packet.EthFramingOverhead
 	d.stats.Bytes += uint64(wireBytes)
 	end := d.wire.Reserve(sim.BytesAt(wireBytes, d.gbps))
-	if d.imp.DropProb > 0 && d.eng.Rand().Float64() < d.imp.DropProb {
+	// The fault injector (if any) rules first; the legacy biased-coin
+	// Impairment applies on top, drawing from the engine RNG exactly as
+	// before so injector-free runs stay byte-identical.
+	var v Verdict
+	if d.faults != nil {
+		v = d.faults.Judge(d.eng.Now(), len(frame))
+	}
+	if v.Drop || (d.imp.DropProb > 0 && d.eng.Rand().Float64() < d.imp.DropProb) {
 		d.stats.Dropped++
 		d.tracer.Logf("fabric: dropped frame (%d bytes)", len(frame))
 		if d.tb != nil {
@@ -75,7 +104,7 @@ func (d *direction) send(frame []byte) {
 	// Senders may retain (and retransmit) their frame buffer, so each
 	// hop travels in its own pooled copy, owned by the receiver.
 	buf := packet.CloneFrame(frame)
-	if d.imp.CorruptProb > 0 && d.eng.Rand().Float64() < d.imp.CorruptProb {
+	if v.Corrupt || (d.imp.CorruptProb > 0 && d.eng.Rand().Float64() < d.imp.CorruptProb) {
 		d.stats.Corrupted++
 		pos := d.eng.Rand().Intn(len(buf))
 		buf[pos] ^= 1 << d.eng.Rand().Intn(8)
@@ -85,11 +114,26 @@ func (d *direction) send(frame []byte) {
 		}
 	}
 	deliverAt := end.Add(d.prop)
+	if v.Delay > 0 {
+		d.stats.Delayed++
+		deliverAt = deliverAt.Add(v.Delay)
+		d.tracer.Logf("fabric: delayed frame by %v", v.Delay)
+	}
 	if d.tb != nil {
 		now := d.eng.Now()
 		d.tb.Complete(d.pid, d.tid, "wire", "frame", now, deliverAt.Sub(now), fmt.Sprintf("%d wire bytes", wireBytes))
 	}
 	d.eng.ScheduleAt(deliverAt, func() { d.dst.DeliverFrame(buf) })
+	if v.Duplicate {
+		// The duplicate is an independent copy (cloned now: the sender
+		// may recycle its buffer as soon as send returns).
+		d.stats.Duplicated++
+		dup := packet.CloneFrame(frame)
+		if d.tb != nil {
+			d.tb.Instant(d.pid, d.tid, "wire", "duplicate", fmt.Sprintf("%d bytes", len(frame)))
+		}
+		d.eng.ScheduleAt(deliverAt.Add(v.DupDelay), func() { d.dst.DeliverFrame(dup) })
+	}
 }
 
 // Link is a full-duplex point-to-point Ethernet cable. The paper's
@@ -142,6 +186,8 @@ func (l *Link) AttachTelemetry(reg *telemetry.Registry, tb *telemetry.TraceBuffe
 			reg.Counter("link_bytes", lbl).Set(d.stats.Bytes)
 			reg.Counter("link_dropped", lbl).Set(d.stats.Dropped)
 			reg.Counter("link_corrupted", lbl).Set(d.stats.Corrupted)
+			reg.Counter("link_duplicated", lbl).Set(d.stats.Duplicated)
+			reg.Counter("link_delayed", lbl).Set(d.stats.Delayed)
 			reg.Gauge("link_utilisation", lbl).Set(d.wire.Utilisation())
 		}
 		reg.OnCollect(func() {
@@ -175,6 +221,13 @@ func (l *Link) ImpairAtoB(imp Impairment) { l.a.imp = imp }
 
 // ImpairBtoA sets fault injection on the b→a direction.
 func (l *Link) ImpairBtoA(imp Impairment) { l.b.imp = imp }
+
+// SetFaultsAtoB installs a fault injector on the a→b direction (nil
+// removes it). Composes with ImpairAtoB: the injector rules first.
+func (l *Link) SetFaultsAtoB(f FaultInjector) { l.a.faults = f }
+
+// SetFaultsBtoA installs a fault injector on the b→a direction.
+func (l *Link) SetFaultsBtoA(f FaultInjector) { l.b.faults = f }
 
 // StatsAtoB returns counters for the a→b direction.
 func (l *Link) StatsAtoB() Stats { return l.a.stats }

@@ -79,7 +79,17 @@ type Stats struct {
 	ReadBytes     uint64
 	WriteBytes    uint64
 	SplitSegments uint64
+	StalledCmds   uint64       // DMA commands delayed by a stall hook
+	StallTime     sim.Duration // total extra latency added by stalls
 }
+
+// StallFn reports the extra completion latency a DMA command issued at
+// now must absorb (zero when the interconnect is healthy). It models
+// host-side interference — root-complex backpressure, a busy IOMMU, a
+// paused VM — as scheduled stall windows; internal/chaos provides the
+// window-driven implementation. The function must be deterministic in
+// now.
+type StallFn func(now sim.Time) sim.Duration
 
 // Engine is the DMA engine with descriptor bypass: the NIC data path (and
 // StRoM kernels) issue commands directly, without CPU synchronization.
@@ -88,10 +98,11 @@ type Engine struct {
 	mem  *hostmem.Memory
 	tlb  *tlb.TLB
 	cfg  Config
-	h2c  *sim.Serializer // host-to-card (DMA reads)
-	c2h  *sim.Serializer // card-to-host (DMA writes)
-	mmio *sim.Serializer // register path
-	st   Stats
+	h2c   *sim.Serializer // host-to-card (DMA reads)
+	c2h   *sim.Serializer // card-to-host (DMA writes)
+	mmio  *sim.Serializer // register path
+	st    Stats
+	stall StallFn // nil when no stall injection is attached
 
 	// Structured tracing (nil when telemetry is disabled).
 	tb  *telemetry.TraceBuffer
@@ -118,6 +129,8 @@ func (e *Engine) AttachTelemetry(reg *telemetry.Registry, tb *telemetry.TraceBuf
 			reg.Counter("pcie_dma_read_bytes", nic).Set(e.st.ReadBytes)
 			reg.Counter("pcie_dma_write_bytes", nic).Set(e.st.WriteBytes)
 			reg.Counter("pcie_dma_split_segments", nic).Set(e.st.SplitSegments)
+			reg.Counter("pcie_dma_stalled_commands", nic).Set(e.st.StalledCmds)
+			reg.Counter("pcie_dma_stall_ps", nic).Set(uint64(e.st.StallTime))
 			h2c, c2h := e.Utilisation()
 			reg.Gauge("pcie_h2c_utilisation", nic).Set(h2c)
 			reg.Gauge("pcie_c2h_utilisation", nic).Set(c2h)
@@ -147,6 +160,27 @@ func NewEngine(eng *sim.Engine, mem *hostmem.Memory, t *tlb.TLB, cfg Config) *En
 // Config returns the engine's configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
+// SetStall installs a stall hook consulted once per DMA command (nil
+// removes it). The reported extra latency is added to the command's
+// completion time; the streams themselves keep serializing, mirroring a
+// root complex that stops returning completions while posted work piles
+// up.
+func (e *Engine) SetStall(fn StallFn) { e.stall = fn }
+
+// stalled applies the stall hook to a command completing at t.
+func (e *Engine) stalled(t sim.Time) sim.Time {
+	if e.stall == nil {
+		return t
+	}
+	d := e.stall(e.eng.Now())
+	if d <= 0 {
+		return t
+	}
+	e.st.StalledCmds++
+	e.st.StallTime += d
+	return t.Add(d)
+}
+
 // Stats returns a snapshot of the activity counters.
 func (e *Engine) Stats() Stats { return e.st }
 
@@ -168,7 +202,7 @@ func (e *Engine) ReadHost(va hostmem.Addr, n int, done func([]byte, error)) {
 		finish = e.h2c.Reserve(d)
 	}
 	// Data lands after the request round trip plus streaming time.
-	at := finish.Add(e.cfg.ReadLatency)
+	at := e.stalled(finish.Add(e.cfg.ReadLatency))
 	if e.tb != nil {
 		now := e.eng.Now()
 		e.tb.Complete(e.pid, traceTidH2C, "dma", "DMA_READ", now, at.Sub(now), fmt.Sprintf("va=%#x n=%d segs=%d", uint64(va), n, len(segs)))
@@ -210,7 +244,7 @@ func (e *Engine) WriteHost(va hostmem.Addr, data []byte, done func(error)) {
 		d := e.cfg.CommandOverhead + sim.BytesAt(s.Len, e.cfg.BandwidthGbps)
 		finish = e.c2h.Reserve(d)
 	}
-	at := finish.Add(e.cfg.WriteLatency)
+	at := e.stalled(finish.Add(e.cfg.WriteLatency))
 	if e.tb != nil {
 		now := e.eng.Now()
 		e.tb.Complete(e.pid, traceTidC2H, "dma", "DMA_WRITE", now, at.Sub(now), fmt.Sprintf("va=%#x n=%d segs=%d", uint64(va), n, len(segs)))

@@ -69,6 +69,65 @@ func (s *Stack) PendingPackets(qpn uint32) int {
 	return len(st.pending)
 }
 
+// Observer receives protocol-level events from a stack, synchronously
+// from the data path. It is the hook the chaos invariant checker
+// (internal/chaos) sits on: where AttachTelemetry mirrors aggregate
+// counters, the Observer sees the per-packet facts correctness proofs
+// need — PSNs, retransmission decisions, responder executions, verb
+// lifecycles. All methods are called with the engine's run token held;
+// implementations must not re-enter the stack. A nil observer (the
+// default) costs one pointer compare per event.
+type Observer interface {
+	// PostedOp records a verb accepted by a Post* call. opID is unique
+	// per stack and strictly increasing.
+	PostedOp(qpn uint32, opID uint64, kind string)
+	// CompletedOp records the verb's single completion (err nil on
+	// success). Every PostedOp must eventually be matched by exactly one
+	// CompletedOp — the liveness invariant.
+	CompletedOp(qpn uint32, opID uint64, err error)
+	// TxRequest records a requester packet entering the TX pipeline.
+	// npsn is the number of PSNs the packet consumes (reads consume one
+	// per expected response packet); it is 0 for retransmissions, whose
+	// PSN must already have been announced.
+	TxRequest(qpn uint32, psn, npsn uint32, op packet.Opcode, retransmit bool)
+	// RespExec records the responder executing a request: fresh in-order
+	// requests advance the expected PSN by npsn; dup reports a
+	// re-execution in the duplicate PSN region (legal only for READs,
+	// with npsn 0).
+	RespExec(qpn uint32, psn, npsn uint32, op packet.Opcode, dup bool)
+	// RespReadData records the payload the responder serves for the READ
+	// anchored at psn, as a CRC64 digest: duplicate servings of the same
+	// PSN must be bit-identical.
+	RespReadData(qpn uint32, psn uint32, sum uint64, n int)
+	// Timeout records a retransmission-timer expiry that found no
+	// progress. retries is the incremented retry counter; outstanding is
+	// the number of unacknowledged packets plus pending reads.
+	Timeout(qpn uint32, retries, outstanding int)
+}
+
+// SetObserver installs a protocol observer (nil removes it).
+func (s *Stack) SetObserver(obs Observer) { s.obs = obs }
+
+// DebugFaults injects deliberate protocol bugs into the stack. The only
+// consumer is the invariant-checker test suite, which must demonstrate
+// that a broken transport is flagged; the zero value (the default) is
+// inert and the hot paths never branch on it unless a fault is armed.
+type DebugFaults struct {
+	// SkipPSNAt makes the requester silently consume one extra PSN
+	// before the n-th posted verb (1-based; 0 disables), tearing the
+	// contiguous-PSN contract.
+	SkipPSNAt int
+	// CorruptDupRead flips a bit in payloads served from the
+	// duplicate-READ cache, breaking bit-identical replay.
+	CorruptDupRead bool
+	// SuppressRetransmit drops every go-back-N resend on the floor:
+	// timeouts and NAKs still fire, but nothing is put on the wire.
+	SuppressRetransmit bool
+}
+
+// SetDebugFaults arms deliberate protocol bugs (tests only).
+func (s *Stack) SetDebugFaults(f DebugFaults) { s.dbg = f }
+
 // traceFrame decodes an encoded frame and records it as an instant event
 // on the given track. Only called when tracing is enabled, so the decode
 // cost never touches the disabled path.

@@ -217,3 +217,192 @@ func TestOutstandingReadsReported(t *testing.T) {
 		t.Errorf("outstanding after drain = %d", got)
 	}
 }
+
+// frameSchedule is a deterministic fabric.FaultInjector: it drops or
+// corrupts exactly the scheduled frame indices (0-based, counting every
+// frame entering the direction, retransmissions included). Tests use it
+// to kill precisely packet k of n and assert exact recovery counts.
+type frameSchedule struct {
+	seen    int
+	drop    map[int]bool
+	corrupt map[int]bool
+}
+
+func (f *frameSchedule) Judge(now sim.Time, frameLen int) fabric.Verdict {
+	i := f.seen
+	f.seen++
+	return fabric.Verdict{Drop: f.drop[i], Corrupt: f.corrupt[i]}
+}
+
+func killNth(idx int, corrupt bool) *frameSchedule {
+	f := &frameSchedule{drop: map[int]bool{}, corrupt: map[int]bool{}}
+	if corrupt {
+		f.corrupt[idx] = true
+	} else {
+		f.drop[idx] = true
+	}
+	return f
+}
+
+// TestGoBackNDropSchedule kills exactly segment k of an n-segment WRITE
+// and checks the recovery against the go-back-N arithmetic: a mid-message
+// kill leaves a gap the responder NAKs exactly once, and the requester
+// replays exactly the n-k unacknowledged segments; killing the final
+// (AckReq) segment leaves no gap to NAK, so only the timeout-snapshot
+// path can recover, replaying the whole message. Timeouts stay zero on
+// the NAK paths because received (N)ACKs bump the progress counter and
+// turn the pending expiry into a no-op re-arm.
+func TestGoBackNDropSchedule(t *testing.T) {
+	cfg := Config10G()
+	const segs = 6
+	n := cfg.MTUPayload * segs
+	cases := []struct {
+		name     string
+		killIdx  int
+		corrupt  bool
+		naks     uint64 // NAKs sent by the responder
+		retrans  uint64 // frames replayed by the requester
+		timeouts uint64
+		oooB     uint64 // out-of-order arrivals at the responder
+		dupsB    uint64 // duplicate-region arrivals at the responder
+	}{
+		{"drop-first", 0, false, 1, 6, 0, 5, 0},
+		{"drop-middle", 2, false, 1, 4, 0, 3, 0},
+		{"drop-penultimate", 4, false, 1, 2, 0, 1, 0},
+		// A corrupted frame dies at the ICRC gate, so recovery is
+		// byte-for-byte the same as a drop of the same segment.
+		{"corrupt-middle", 3, true, 1, 3, 0, 2, 0},
+		// No cumulative ACK is outstanding mid-message (AckReq rides only
+		// on the last segment), so the timeout replays all n segments and
+		// the responder re-sees the first n-1 as duplicates.
+		{"drop-last-timeout", 5, false, 0, 6, 1, 0, 5},
+	}
+	for ci, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			p := newPair(t, int64(20+ci), cfg, fabric.DirectCable10G())
+			p.link.SetFaultsAtoB(killNth(tc.killIdx, tc.corrupt))
+			data := make([]byte, n)
+			rand.New(rand.NewSource(int64(40+ci))).Read(data)
+			completions := 0
+			var got error
+			p.eng.Schedule(0, func() {
+				if err := p.a.PostWrite(1, 0, data, func(err error) {
+					completions++
+					got = err
+				}); err != nil {
+					t.Error(err)
+				}
+			})
+			p.eng.Run()
+			if completions != 1 || got != nil {
+				t.Fatalf("completions=%d err=%v, want exactly one clean completion", completions, got)
+			}
+			if !bytes.Equal(p.hb.buf[:n], data) {
+				t.Error("data mismatch after recovery")
+			}
+			sa, sb := p.a.Stats(), p.b.Stats()
+			if sb.NaksSent != tc.naks {
+				t.Errorf("NaksSent = %d, want %d", sb.NaksSent, tc.naks)
+			}
+			if sa.Retransmissions != tc.retrans {
+				t.Errorf("Retransmissions = %d, want %d", sa.Retransmissions, tc.retrans)
+			}
+			if sa.Timeouts != tc.timeouts {
+				t.Errorf("Timeouts = %d, want %d", sa.Timeouts, tc.timeouts)
+			}
+			if sb.RxOutOfOrder != tc.oooB {
+				t.Errorf("responder RxOutOfOrder = %d, want %d", sb.RxOutOfOrder, tc.oooB)
+			}
+			if sb.RxDuplicates != tc.dupsB {
+				t.Errorf("responder RxDuplicates = %d, want %d", sb.RxDuplicates, tc.dupsB)
+			}
+			wantDiscard := uint64(0)
+			if tc.corrupt {
+				wantDiscard = 1
+			}
+			if sb.RxDiscarded != wantDiscard {
+				t.Errorf("responder RxDiscarded = %d, want %d", sb.RxDiscarded, wantDiscard)
+			}
+		})
+	}
+}
+
+// TestReadRecoveryDropSchedule kills exactly one frame of a READ exchange
+// — the request itself, or response segment j of m — and checks the
+// timeout-driven re-request against the duplicate-READ cache arithmetic:
+// a lost request is fresh on retry (cache stays cold), while a lost
+// response puts the retry in the duplicate region, where it must be
+// served from the cache and the requester must silently discard the
+// j stale response segments it already consumed.
+func TestReadRecoveryDropSchedule(t *testing.T) {
+	cfg := Config10G()
+	const segs = 4
+	n := cfg.MTUPayload * segs
+	cases := []struct {
+		name     string
+		killAtoB int // frame index on the request direction, -1 for none
+		killBtoA int // frame index on the response direction, -1 for none
+		dupHits  uint64 // duplicate-READ cache hits at the responder
+		dupsA    uint64 // stale response segments discarded at the requester
+		oooA     uint64 // post-gap response segments discarded at the requester
+	}{
+		{"drop-request", 0, -1, 0, 0, 0},
+		{"drop-first-response", -1, 0, 1, 0, 3},
+		{"drop-middle-response", -1, 1, 1, 1, 2},
+		{"drop-last-response", -1, 3, 1, 3, 0},
+	}
+	for ci, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			p := newPair(t, int64(60+ci), cfg, fabric.DirectCable10G())
+			if tc.killAtoB >= 0 {
+				p.link.SetFaultsAtoB(killNth(tc.killAtoB, false))
+			}
+			if tc.killBtoA >= 0 {
+				p.link.SetFaultsBtoA(killNth(tc.killBtoA, false))
+			}
+			src := make([]byte, n)
+			rand.New(rand.NewSource(int64(80+ci))).Read(src)
+			copy(p.hb.buf[4096:], src)
+			var got []byte
+			completions := 0
+			var cerr error
+			p.eng.Schedule(0, func() {
+				err := p.a.PostRead(1, 4096, n, func(off int, chunk []byte, ack func()) {
+					got = append(got, chunk...)
+					ack()
+				}, func(err error) {
+					completions++
+					cerr = err
+				})
+				if err != nil {
+					t.Error(err)
+				}
+			})
+			p.eng.Run()
+			if completions != 1 || cerr != nil {
+				t.Fatalf("completions=%d err=%v, want exactly one clean completion", completions, cerr)
+			}
+			if !bytes.Equal(got, src) {
+				t.Error("read returned wrong data after recovery")
+			}
+			sa, sb := p.a.Stats(), p.b.Stats()
+			if sa.Timeouts != 1 {
+				t.Errorf("Timeouts = %d, want 1 (single timeout-driven re-request)", sa.Timeouts)
+			}
+			if sa.Retransmissions != 1 {
+				t.Errorf("Retransmissions = %d, want 1 (the re-request frame)", sa.Retransmissions)
+			}
+			if sb.DupReadCacheHits != tc.dupHits {
+				t.Errorf("DupReadCacheHits = %d, want %d", sb.DupReadCacheHits, tc.dupHits)
+			}
+			if sa.RxDuplicates != tc.dupsA {
+				t.Errorf("requester RxDuplicates = %d, want %d", sa.RxDuplicates, tc.dupsA)
+			}
+			if sa.RxOutOfOrder != tc.oooA {
+				t.Errorf("requester RxOutOfOrder = %d, want %d", sa.RxOutOfOrder, tc.oooA)
+			}
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"strom/internal/crc"
 	"strom/internal/packet"
 	"strom/internal/sim"
 	"strom/internal/telemetry"
@@ -80,6 +81,12 @@ type Stack struct {
 	// AttachTelemetry). Hot paths gate on tb with one pointer compare.
 	tb  *telemetry.TraceBuffer
 	pid uint32
+
+	// Protocol observation and deliberate fault injection (see
+	// instrument.go). obs is nil unless an invariant checker is attached.
+	obs   Observer
+	opSeq uint64
+	dbg   DebugFaults
 }
 
 // NewStack builds a stack. transmit pushes encoded frames into the
@@ -169,13 +176,51 @@ func (s *Stack) sendFrame(st *qpState, frame []byte, words int, recycle bool) {
 }
 
 // retransmitFrame re-sends a stored frame.
-func (s *Stack) retransmitFrame(st *qpState, frame []byte) {
+func (s *Stack) retransmitFrame(qpn uint32, st *qpState, frame []byte) {
+	if s.dbg.SuppressRetransmit {
+		// Deliberate protocol bug (checker validation): the resend is
+		// silently discarded.
+		return
+	}
 	words := (len(frame) + s.cfg.DataPathBytes - 1) / s.cfg.DataPathBytes
 	s.stats.Retransmissions++
 	if s.tb != nil {
 		s.traceFrame(traceTidRetrans, "retransmit", frame)
 	}
+	if s.obs != nil {
+		if pkt, err := packet.Decode(frame); err == nil {
+			s.obs.TxRequest(qpn, pkt.BTH.PSN, 0, pkt.BTH.Opcode, true)
+		}
+	}
 	s.sendFrame(st, frame, words, false)
+}
+
+// newOp assigns the next verb id and applies the PSN-skip debug fault.
+func (s *Stack) newOp(st *qpState) uint64 {
+	s.opSeq++
+	if s.dbg.SkipPSNAt > 0 && s.opSeq == uint64(s.dbg.SkipPSNAt) {
+		st.nextPSN = psnAdd(st.nextPSN, 1)
+	}
+	return s.opSeq
+}
+
+// kindName labels a segmented message kind for the observer.
+func kindName(kind packet.MessageKind) string {
+	if kind == packet.KindRPCWrite {
+		return "RPC_WRITE"
+	}
+	return "WRITE"
+}
+
+// instrumentMsg binds a message to the observer for completion tracking.
+func (s *Stack) instrumentMsg(qpn uint32, opID uint64, kind string, msg *outMessage) {
+	if s.obs == nil {
+		return
+	}
+	msg.obs = s.obs
+	msg.obsQPN = qpn
+	msg.obsID = opID
+	s.obs.PostedOp(qpn, opID, kind)
 }
 
 // --- requester verbs ------------------------------------------------------
@@ -197,12 +242,17 @@ func (s *Stack) postSegmented(qpn uint32, kind packet.MessageKind, reth packet.R
 	if err != nil {
 		return err
 	}
+	opID := s.newOp(st)
 	pkts, err := packet.Segment(kind, st.remoteQPN, st.nextPSN, reth, data, s.cfg.MTUPayload)
 	if err != nil {
 		return err
 	}
 	msg := &outMessage{kind: kind, complete: done}
+	s.instrumentMsg(qpn, opID, kindName(kind), msg)
 	for i, pkt := range pkts {
+		if s.obs != nil {
+			s.obs.TxRequest(qpn, pkt.BTH.PSN, 1, pkt.BTH.Opcode, false)
+		}
 		frame := s.send(st, pkt)
 		st.pending = append(st.pending, &pendingPacket{
 			psn: pkt.BTH.PSN, npsn: 1, frame: frame, msg: msg, lastOf: i == len(pkts)-1,
@@ -220,11 +270,16 @@ func (s *Stack) PostRPC(qpn uint32, rpcOp uint64, params []byte, done func(error
 	if err != nil {
 		return err
 	}
+	opID := s.newOp(st)
 	pkt, err := packet.RPCParams(st.remoteQPN, st.nextPSN, rpcOp, params, s.cfg.MTUPayload)
 	if err != nil {
 		return err
 	}
 	msg := &outMessage{complete: done}
+	s.instrumentMsg(qpn, opID, "RPC", msg)
+	if s.obs != nil {
+		s.obs.TxRequest(qpn, pkt.BTH.PSN, 1, pkt.BTH.Opcode, false)
+	}
 	frame := s.send(st, pkt)
 	st.pending = append(st.pending, &pendingPacket{psn: pkt.BTH.PSN, npsn: 1, frame: frame, msg: msg, lastOf: true})
 	st.nextPSN = psnAdd(st.nextPSN, 1)
@@ -243,6 +298,7 @@ func (s *Stack) PostRead(qpn uint32, remoteVA uint64, n int, sink ReadSink, done
 	if err != nil {
 		return err
 	}
+	opID := s.newOp(st)
 	npsn := uint32(packet.NumSegments(n, s.cfg.MTUPayload))
 	msg := &outMessage{isRead: true, complete: done}
 	elem, err := s.mq.push(qpn, mqElement{
@@ -256,7 +312,11 @@ func (s *Stack) PostRead(qpn uint32, remoteVA uint64, n int, sink ReadSink, done
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrTooManyReads, err)
 	}
+	s.instrumentMsg(qpn, opID, "READ", msg)
 	pkt := packet.ReadRequest(st.remoteQPN, st.nextPSN, packet.RETH{VirtualAddress: remoteVA, DMALength: uint32(n)})
+	if s.obs != nil {
+		s.obs.TxRequest(qpn, pkt.BTH.PSN, npsn, pkt.BTH.Opcode, false)
+	}
 	frame := s.send(st, pkt)
 	elem.ReqFrame = frame
 	st.pending = append(st.pending, &pendingPacket{psn: st.nextPSN, npsn: npsn, frame: frame, msg: msg, isRead: true})
@@ -336,7 +396,10 @@ func (s *Stack) handleRequest(qpn uint32, st *qpState, pkt *packet.Packet) {
 			// distance alone.
 			if rr, ok := st.recentRds[pkt.BTH.PSN]; ok && -d <= int32(8*s.cfg.ReadDepthPerQP) {
 				s.stats.DupReadCacheHits++
-				s.executeRead(qpn, st, rr.va, rr.n, rr.resp)
+				if s.obs != nil {
+					s.obs.RespExec(qpn, pkt.BTH.PSN, 0, pkt.BTH.Opcode, true)
+				}
+				s.executeRead(qpn, st, rr.va, rr.n, rr.resp, true)
 			} else {
 				s.stats.DupReadCacheMiss++
 			}
@@ -349,6 +412,13 @@ func (s *Stack) handleRequest(qpn uint32, st *qpState, pkt *packet.Packet) {
 	// Valid: execute and advance the expected PSN.
 	st.nakSent = false
 	op := pkt.BTH.Opcode
+	if s.obs != nil {
+		npsn := uint32(1)
+		if op == packet.OpReadRequest {
+			npsn = uint32(packet.NumSegments(int(pkt.RETH.DMALength), s.cfg.MTUPayload))
+		}
+		s.obs.RespExec(qpn, pkt.BTH.PSN, npsn, op, false)
+	}
 	switch {
 	case op.IsWrite():
 		s.execWrite(qpn, st, pkt)
@@ -373,7 +443,7 @@ func (s *Stack) handleRequest(qpn uint32, st *qpState, pkt *packet.Packet) {
 		}
 		st.ePSN = psnAdd(st.ePSN, npsn)
 		st.msn = (st.msn + 1) & psnMask
-		s.executeRead(qpn, st, rr.va, n, rr.resp)
+		s.executeRead(qpn, st, rr.va, n, rr.resp, false)
 	}
 }
 
@@ -436,12 +506,21 @@ func (s *Stack) execRPCParams(qpn uint32, st *qpState, pkt *packet.Packet) {
 	s.sendTransient(st, packet.Ack(st.remoteQPN, pkt.BTH.PSN, packet.SynACK, st.msn))
 }
 
-func (s *Stack) executeRead(qpn uint32, st *qpState, va uint64, n int, respPSN uint32) {
+func (s *Stack) executeRead(qpn uint32, st *qpState, va uint64, n int, respPSN uint32, dup bool) {
 	s.handler.HandleReadRequest(qpn, va, n, func(data []byte, err error) {
 		if err != nil {
 			s.stats.NaksSent++
 			s.sendTransient(st, packet.Ack(st.remoteQPN, respPSN, packet.SynNAKInvalid, st.msn))
 			return
+		}
+		if dup && s.dbg.CorruptDupRead && len(data) > 0 {
+			// Deliberate protocol bug (checker validation): the duplicate
+			// serving is no longer bit-identical to the original.
+			data = append([]byte(nil), data...)
+			data[0] ^= 0x01
+		}
+		if s.obs != nil {
+			s.obs.RespReadData(qpn, respPSN, crc.Checksum64(data), len(data))
 		}
 		for _, rp := range packet.ReadResponse(st.remoteQPN, respPSN, st.msn, data, s.cfg.MTUPayload) {
 			s.sendTransient(st, rp)
@@ -463,7 +542,7 @@ func (s *Stack) handleAck(qpn uint32, st *qpState, pkt *packet.Packet) {
 		s.stats.NaksReceived++
 		s.ackUpTo(qpn, st, psnAdd(pkt.BTH.PSN, psnMask))
 		for _, p := range st.pending {
-			s.retransmitFrame(st, p.frame)
+			s.retransmitFrame(qpn, st, p.frame)
 		}
 		s.armTimer(qpn, st)
 	case packet.SynNAKInvalid:
@@ -611,6 +690,9 @@ func (s *Stack) onTimeout(qpn uint32, st *qpState, snap uint64) {
 		s.tb.Instant(s.pid, traceTidRetrans, "reliability", "timeout", fmt.Sprintf("qp=%d retries=%d", qpn, st.retries+1))
 	}
 	st.retries++
+	if s.obs != nil {
+		s.obs.Timeout(qpn, st.retries, len(st.pending)+s.mq.len(qpn))
+	}
 	if st.retries > s.cfg.MaxRetries {
 		for _, p := range st.pending {
 			p.msg.finish(ErrRetryExceeded)
@@ -626,11 +708,11 @@ func (s *Stack) onTimeout(qpn uint32, st *qpState, snap uint64) {
 	// reads are re-requested (the responder re-executes them and the
 	// requester discards already-received response PSNs).
 	for _, p := range st.pending {
-		s.retransmitFrame(st, p.frame)
+		s.retransmitFrame(qpn, st, p.frame)
 	}
 	s.mq.each(qpn, func(e *mqElement) {
 		if !e.sawLast && !s.hasPending(st, e.FirstPSN) {
-			s.retransmitFrame(st, e.ReqFrame)
+			s.retransmitFrame(qpn, st, e.ReqFrame)
 		}
 	})
 	s.armTimer(qpn, st)

@@ -80,6 +80,12 @@ type outMessage struct {
 	isRead   bool
 	complete func(error)
 	done     bool
+
+	// Observer binding (nil unless the stack has an observer; see
+	// instrument.go). The lifecycle invariant is checked on opID.
+	obs    Observer
+	obsQPN uint32
+	obsID  uint64
 }
 
 func (m *outMessage) finish(err error) {
@@ -87,6 +93,9 @@ func (m *outMessage) finish(err error) {
 		return
 	}
 	m.done = true
+	if m.obs != nil {
+		m.obs.CompletedOp(m.obsQPN, m.obsID, err)
+	}
 	if m.complete != nil {
 		m.complete(err)
 	}

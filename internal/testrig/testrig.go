@@ -6,6 +6,7 @@ package testrig
 import (
 	"fmt"
 
+	"strom/internal/chaos"
 	"strom/internal/core"
 	"strom/internal/fabric"
 	"strom/internal/hostmem"
@@ -103,6 +104,18 @@ func (p *Pair) StartProbes(tel *Telemetry, every sim.Duration) {
 		tel.Registry.Histogram("link_utilisation_samples", "fraction",
 			telemetry.L("dir", "b-to-a")).ObserveInt(int64(bToA * 100))
 	})
+}
+
+// ApplyChaos wires a chaos plan into the testbed — frame faults on the
+// link, DMA stall windows on both machines — and attaches a protocol
+// invariant checker to each stack. Call the checkers' Finish after the
+// run to collect violations.
+func (p *Pair) ApplyChaos(plan chaos.Plan) (*chaos.Injector, *chaos.Checker, *chaos.Checker) {
+	inj := chaos.New(p.Eng, plan)
+	inj.Apply(p.Link, p.A.DMA(), p.B.DMA())
+	ca := chaos.AttachChecker(p.A.Stack(), "A", p.Eng)
+	cb := chaos.AttachChecker(p.B.Stack(), "B", p.Eng)
+	return inj, ca, cb
 }
 
 // New10G is the common case: the 10 G testbed with 32 MB buffers.
