@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race cover fuzz bench
+.PHONY: check vet build test race cover recovery fuzz bench
 
 check: build test
 
@@ -22,11 +22,18 @@ race: test
 cover:
 	$(GO) test -cover ./...
 
+# recovery runs the failure-recovery suite on its own under the race
+# detector: QP state machine, crash/restart, deadlines, reconnects.
+recovery:
+	$(GO) test -race -run 'Recovery|Crash|Deadline|QPState|Reconnect' ./internal/roce ./internal/core ./internal/experiments .
+
 # fuzz smoke-runs the checked-in fuzzers for 10s each on top of their
-# seed corpora (packet header round-trip, CRC slicing equivalence).
+# seed corpora (packet header round-trip, CRC slicing equivalence, QP
+# state-machine exactly-once under random fault interleavings).
 fuzz:
 	$(GO) test ./internal/packet -fuzz=FuzzHeaderRoundTrip -fuzztime=10s
 	$(GO) test ./internal/crc -fuzz=FuzzCRCSlicingEquivalence -fuzztime=10s
+	$(GO) test ./internal/roce -fuzz=FuzzQPStateMachine -fuzztime=10s
 
 # bench runs the microbenchmarks (root macro benches plus the scheduler
 # and telemetry hot paths) and then the quick experiment suite with the
@@ -34,3 +41,4 @@ fuzz:
 bench:
 	$(GO) test -bench=. -benchmem . ./internal/sim ./internal/telemetry
 	$(GO) run ./cmd/strombench -quick -metrics BENCH_quick.json > /dev/null
+	$(GO) run ./cmd/strombench -quick -chaos chaos-recovery > /dev/null

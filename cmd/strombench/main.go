@@ -12,11 +12,13 @@
 // fig5a...fig13b, abl-*, and chaos-*.
 //
 // -chaos selects the fault-injection suite instead: with no names it
-// runs the chaos generators (bursty loss and link-flap sweeps, each with
-// the protocol invariant checker attached), and -metrics/-trace export
-// the chaos scenario (experiments.WriteChaosTelemetry) instead of the
-// clean one. Chaos runs are driven entirely off the engine RNG, so
-// re-running with the same -seed replays the identical fault schedule.
+// runs the chaos generators (bursty loss and link-flap sweeps, plus the
+// chaos-recovery crash/restart sweep, each with the protocol invariant
+// checker attached), and -metrics/-trace export the chaos scenario
+// (experiments.WriteChaosTelemetry) instead of the clean one. Chaos runs
+// are driven entirely off the engine RNG, so re-running with the same
+// -seed replays the identical fault schedule — including the recovery
+// sweep's crash times, verb deadlines and reconnect backoff jitter.
 //
 // Figure generators are independent simulations, so -j runs them on a
 // worker pool. Results are printed in request order and each generator

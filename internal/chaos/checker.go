@@ -36,6 +36,8 @@ type qpCheck struct {
 	timeoutSeen  bool
 	awaitResend  bool
 	resendSince  sim.Time
+	// Lifecycle state as last announced via QPStateChange.
+	state roce.QPState
 }
 
 // readKey identifies one READ serving site: (QP, first response PSN).
@@ -63,6 +65,9 @@ type readServing struct {
 //     and a timeout with outstanding work is followed by an actual
 //     retransmission.
 //  7. Every posted verb completes exactly once (checked at Finish).
+//  8. A QP in ERROR never transmits fresh PSNs: after the flush, only a
+//     reset/reconnect may put new work on the wire, and the reconnect
+//     restarts the PSN space from zero (recovery invariant).
 //
 // A violation is recorded, not panicked, so a full chaos sweep reports
 // every broken invariant at once. The checker is not an impairment: it
@@ -150,6 +155,9 @@ func (c *Checker) CompletedOp(qpn uint32, opID uint64, err error) {
 // TxRequest implements roce.Observer.
 func (c *Checker) TxRequest(qpn uint32, psn, npsn uint32, op packet.Opcode, retransmit bool) {
 	q := c.qp(qpn)
+	if q.state == roce.QPStateError && !retransmit {
+		c.violate("qp %d: ERROR-state QP sent fresh PSN %d (%v)", qpn, psn, op)
+	}
 	if retransmit {
 		q.awaitResend = false
 		if q.nextSeen && psnDiff(psn, q.next) >= 0 {
@@ -214,6 +222,31 @@ func (c *Checker) Timeout(qpn uint32, retries, outstanding int) {
 		q.resendSince = now
 	} else {
 		q.awaitResend = false
+	}
+}
+
+// QPStateChange implements roce.Observer. A transition to RESET clears
+// every expectation the checker holds for the QP — PSN continuity on both
+// sides, timer discipline, and the duplicate-READ payload pins — because
+// a reconnected QP legitimately restarts from PSN zero. Transitions to
+// ERROR drop the pending-retransmission expectation (the flush cancels
+// the timer, so the resend will never come) and arm invariant 8.
+func (c *Checker) QPStateChange(qpn uint32, state roce.QPState, cause error) {
+	q := c.qp(qpn)
+	q.state = state
+	switch state {
+	case roce.QPStateError:
+		q.awaitResend = false
+	case roce.QPStateReset:
+		q.nextSeen = false
+		q.epsnSeen = false
+		q.timeoutSeen = false
+		q.awaitResend = false
+		for k := range c.reads {
+			if k.qpn == qpn {
+				delete(c.reads, k)
+			}
+		}
 	}
 }
 

@@ -61,39 +61,57 @@ func (c *Context) Config() roce.Config { return c.nic.cfg.Roce }
 // MTUPayload returns the per-packet payload limit for RDMA writes.
 func (c *Context) MTUPayload() int { return c.nic.cfg.Roce.MTUPayload }
 
-// Delay schedules fn after n kernel pipeline cycles.
+// Delay schedules fn after n kernel pipeline cycles. The continuation is
+// epoch-guarded: if the machine crashes before it fires, the kernel FSM
+// aborts instead of resuming on a powered-off device.
 func (c *Context) Delay(cycles int, fn func()) {
-	c.nic.eng.Schedule(sim.Duration(cycles)*c.cycle, fn)
+	epoch := c.nic.epoch
+	c.nic.eng.Schedule(sim.Duration(cycles)*c.cycle, func() {
+		if c.nic.epoch != epoch {
+			c.nic.stats.KernelAborts++
+			return
+		}
+		fn()
+	})
 }
 
 // DMARead issues a read of host memory over the dmaCmdOut/dmaDataIn
-// streams: a PCIe round trip of roughly 1.5 µs (§6.2).
+// streams: a PCIe round trip of roughly 1.5 µs (§6.2). If the machine
+// crashes while the command is in flight, the completion is dropped and
+// the kernel FSM aborts (epoch guard).
 func (c *Context) DMARead(va uint64, n int, done func([]byte, error)) {
 	c.nic.stats.KernelDMAReads++
-	if c.nic.tel != nil {
-		c.inflight++
-		inner := done
-		done = func(data []byte, err error) {
-			c.inflight--
-			inner(data, err)
+	epoch := c.nic.epoch
+	inner := done
+	done = func(data []byte, err error) {
+		c.inflight--
+		if c.nic.epoch != epoch {
+			c.nic.stats.KernelAborts++
+			return
 		}
+		inner(data, err)
 	}
+	c.inflight++
 	c.nic.dma.ReadHost(hostmem.Addr(va), n, done)
 }
 
-// DMAWrite issues a write to host memory over dmaCmdOut/dmaDataOut.
+// DMAWrite issues a write to host memory over dmaCmdOut/dmaDataOut. The
+// completion is epoch-guarded like DMARead's.
 func (c *Context) DMAWrite(va uint64, data []byte, done func(error)) {
 	c.nic.stats.KernelDMAWrites++
-	if c.nic.tel != nil {
-		c.inflight++
-		inner := done
-		done = func(err error) {
-			c.inflight--
-			if inner != nil {
-				inner(err)
-			}
+	epoch := c.nic.epoch
+	inner := done
+	done = func(err error) {
+		c.inflight--
+		if c.nic.epoch != epoch {
+			c.nic.stats.KernelAborts++
+			return
+		}
+		if inner != nil {
+			inner(err)
 		}
 	}
+	c.inflight++
 	c.nic.dma.WriteHost(hostmem.Addr(va), data, done)
 }
 

@@ -55,6 +55,11 @@ type NICStats struct {
 	KernelDMAReads   uint64
 	KernelDMAWrites  uint64
 	KernelRDMAWrites uint64
+	// Crash bookkeeping (see crash.go).
+	Crashes           uint64
+	Restarts          uint64
+	FramesDroppedDown uint64 // frames arriving while crashed
+	KernelAborts      uint64 // kernel FSM continuations dropped by a crash
 }
 
 // RPCFallback is the optional host-CPU fallback for unmatched RPC
@@ -85,6 +90,11 @@ type NIC struct {
 	doorbell *sim.Serializer
 	stats    NICStats
 	tel      *nicTelemetry // nil when telemetry is disabled
+
+	// Crash state (see crash.go). epoch increments on every Crash and
+	// Restart; kernel continuations capture it and abort when it moves.
+	crashed bool
+	epoch   uint64
 }
 
 // NewNIC builds a machine with the given identity. Call SetTransmit (or
@@ -101,8 +111,17 @@ func NewNIC(eng *sim.Engine, cfg Config, id roce.Identity, tracer *sim.Tracer) *
 		doorbell: sim.NewSerializer(eng),
 	}
 	n.dma = pcie.NewEngine(eng, n.mem, n.tlb, cfg.PCIe)
-	n.stack = roce.NewStack(eng, cfg.Roce, id, n, func(f []byte) { n.transmit(f) }, tracer)
-	n.arp = arp.New(eng, id.MAC, id.IP, func(f []byte) { n.transmit(f) }, 0)
+	// A crashed NIC puts nothing on the wire: frames already queued in
+	// the TX pipeline die at the port.
+	send := func(f []byte) {
+		if n.crashed {
+			packet.PutBuf(f)
+			return
+		}
+		n.transmit(f)
+	}
+	n.stack = roce.NewStack(eng, cfg.Roce, id, n, send, tracer)
+	n.arp = arp.New(eng, id.MAC, id.IP, send, 0)
 	return n
 }
 
@@ -114,6 +133,11 @@ func (n *NIC) SetTransmit(fn func([]byte)) { n.transmit = fn }
 // delivered frame; ARP frames are fully consumed here and recycled,
 // RoCE frames are recycled by the stack after RX processing.
 func (n *NIC) DeliverFrame(frame []byte) {
+	if n.crashed {
+		n.stats.FramesDroppedDown++
+		packet.PutBuf(frame)
+		return
+	}
 	if arp.IsARPFrame(frame) {
 		if err := n.arp.HandleFrame(frame); err != nil {
 			n.tracer.Logf("nic: arp: %v", err)
@@ -242,7 +266,12 @@ func (n *NIC) HandleRPCParams(qpn uint32, rpcOp uint64, params []byte) error {
 		n.stats.RPCsDispatched++
 		d.ctx.State(qpn, "INVOKE")
 		p := append([]byte(nil), params...)
+		epoch := n.epoch
 		n.eng.Schedule(n.cfg.Roce.Cycles(kernelPipelineCycles), func() {
+			if n.epoch != epoch {
+				n.stats.KernelAborts++
+				return
+			}
 			d.kernel.Invoke(d.ctx, qpn, p)
 		})
 		return nil
@@ -270,7 +299,12 @@ func (n *NIC) HandleRPCWrite(qpn uint32, rpcOp uint64, data []byte, last bool) e
 	}
 	n.stats.StreamSegments++
 	buf := append([]byte(nil), data...)
+	epoch := n.epoch
 	n.eng.Schedule(n.cfg.Roce.Cycles(kernelPipelineCycles), func() {
+		if n.epoch != epoch {
+			n.stats.KernelAborts++
+			return
+		}
 		d.kernel.Stream(d.ctx, qpn, buf, last)
 	})
 	return nil
@@ -290,67 +324,26 @@ func (n *NIC) ringDoorbell(fn func()) {
 // to the remote address remoteVA. The request handler fetches the payload
 // over DMA before transmission (§4.1).
 func (n *NIC) PostWrite(qpn uint32, localVA, remoteVA uint64, nbytes int, done func(error)) {
-	done = n.instrumentOp("WRITE", qpn, done)
-	n.ringDoorbell(func() {
-		n.dma.ReadHost(hostmem.Addr(localVA), nbytes, func(data []byte, err error) {
-			if err != nil {
-				n.completeErr(done, err)
-				return
-			}
-			if err := n.stack.PostWrite(qpn, remoteVA, data, done); err != nil {
-				n.completeErr(done, err)
-			}
-		})
-	})
+	n.PostWriteDeadline(qpn, localVA, remoteVA, nbytes, 0, done)
 }
 
 // PostRead issues an RDMA READ of n bytes from remoteVA into local memory
 // at localVA. Response chunks are DMA-written as they arrive; done fires
 // when the final chunk is visible to a polling CPU.
 func (n *NIC) PostRead(qpn uint32, remoteVA, localVA uint64, nbytes int, done func(error)) {
-	done = n.instrumentOp("READ", qpn, done)
-	n.ringDoorbell(func() {
-		sink := func(off int, chunk []byte, ack func()) {
-			n.dma.WriteHost(hostmem.Addr(localVA)+hostmem.Addr(off), chunk, func(err error) {
-				if err != nil {
-					n.tracer.Logf("nic: read sink DMA failed: %v", err)
-				}
-				ack()
-			})
-		}
-		if err := n.stack.PostRead(qpn, remoteVA, nbytes, sink, done); err != nil {
-			n.completeErr(done, err)
-		}
-	})
+	n.PostReadDeadline(qpn, remoteVA, localVA, nbytes, 0, done)
 }
 
 // PostRPC issues an RDMA RPC: op-code plus parameters, all carried in the
 // doorbell write (Listing 5's postRpc).
 func (n *NIC) PostRPC(qpn uint32, rpcOp uint64, params []byte, done func(error)) {
-	done = n.instrumentOp("RPC", qpn, done)
-	p := append([]byte(nil), params...)
-	n.ringDoorbell(func() {
-		if err := n.stack.PostRPC(qpn, rpcOp, p, done); err != nil {
-			n.completeErr(done, err)
-		}
-	})
+	n.PostRPCDeadline(qpn, rpcOp, params, 0, done)
 }
 
 // PostRPCWrite issues an RDMA RPC WRITE: n bytes at localVA are fetched
 // over DMA and streamed to the remote kernel (Listing 5's postRpcWrite).
 func (n *NIC) PostRPCWrite(qpn uint32, rpcOp uint64, localVA uint64, nbytes int, done func(error)) {
-	done = n.instrumentOp("RPC_WRITE", qpn, done)
-	n.ringDoorbell(func() {
-		n.dma.ReadHost(hostmem.Addr(localVA), nbytes, func(data []byte, err error) {
-			if err != nil {
-				n.completeErr(done, err)
-				return
-			}
-			if err := n.stack.PostRPCWrite(qpn, rpcOp, data, done); err != nil {
-				n.completeErr(done, err)
-			}
-		})
-	})
+	n.PostRPCWriteDeadline(qpn, rpcOp, localVA, nbytes, 0, done)
 }
 
 // InvokeLocal posts an RPC to the local NIC ("StRoM kernels can also be
@@ -360,13 +353,23 @@ func (n *NIC) PostRPCWrite(qpn uint32, rpcOp uint64, localVA uint64, nbytes int,
 func (n *NIC) InvokeLocal(rpcOp uint64, qpn uint32, params []byte, done func(error)) {
 	p := append([]byte(nil), params...)
 	n.ringDoorbell(func() {
+		if n.crashed {
+			n.completeErr(done, ErrMachineDown)
+			return
+		}
 		d, ok := n.kernels[rpcOp]
 		if !ok {
 			n.completeErr(done, fmt.Errorf("%w: %#x", ErrNoKernel, rpcOp))
 			return
 		}
 		n.stats.RPCsDispatched++
+		epoch := n.epoch
 		n.eng.Schedule(n.cfg.Roce.Cycles(kernelPipelineCycles), func() {
+			if n.epoch != epoch {
+				n.stats.KernelAborts++
+				n.completeErr(done, ErrMachineDown)
+				return
+			}
 			d.kernel.Invoke(d.ctx, qpn, p)
 			if done != nil {
 				done(nil)
@@ -380,6 +383,10 @@ func (n *NIC) InvokeLocal(rpcOp uint64, qpn uint32, params []byte, done func(err
 // segment (a send kernel, §3.5).
 func (n *NIC) StreamLocal(rpcOp uint64, qpn uint32, localVA uint64, nbytes int, done func(error)) {
 	n.ringDoorbell(func() {
+		if n.crashed {
+			n.completeErr(done, ErrMachineDown)
+			return
+		}
 		d, ok := n.kernels[rpcOp]
 		if !ok {
 			n.completeErr(done, fmt.Errorf("%w: %#x", ErrNoKernel, rpcOp))

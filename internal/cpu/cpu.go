@@ -7,7 +7,7 @@
 package cpu
 
 import (
-	"errors"
+	"fmt"
 
 	"strom/internal/crc"
 	"strom/internal/hll"
@@ -111,8 +111,10 @@ func (m Model) HLLDuration(n int, threads int) sim.Duration {
 	return sim.BytesAt(n, gbps)
 }
 
-// ErrPollTimeout reports that polling gave up.
-var ErrPollTimeout = errors.New("cpu: poll timeout")
+// ErrPollTimeout reports that polling gave up. It wraps
+// sim.ErrDeadlineExceeded, so callers can treat poll timeouts and verb
+// deadline expiries uniformly with one errors.Is check.
+var ErrPollTimeout = fmt.Errorf("cpu: poll timeout: %w", sim.ErrDeadlineExceeded)
 
 // Poll spins on [va, va+n) in host memory until pred accepts the bytes,
 // charging one PollInterval per iteration. A zero timeout polls forever.

@@ -32,6 +32,7 @@ func Chaos() []Generator {
 	return []Generator{
 		{"chaos-loss", ChaosLossSweep},
 		{"chaos-flap", ChaosFlapSweep},
+		{"chaos-recovery", ChaosRecoverySweep},
 	}
 }
 

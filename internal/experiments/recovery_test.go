@@ -1,0 +1,73 @@
+package experiments
+
+import "testing"
+
+// TestRecoveryPointDeterministic: the recovery workload — crash times,
+// deadline expiries, backoff jitter and all — is a pure function of
+// (Options, seed): two runs must agree field for field.
+func TestRecoveryPointDeterministic(t *testing.T) {
+	o := Quick().normalized()
+	first, err := runRecoveryPoint(o, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := runRecoveryPoint(o, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Errorf("recovery point diverged across identical runs:\n%+v\nvs\n%+v", first, second)
+	}
+	if first.successes == 0 {
+		t.Error("no successful ops — the client never recovered")
+	}
+	if first.reconnects == 0 {
+		t.Error("no reconnects — the crashes never reached the client")
+	}
+	if first.deadlineErrs+first.qpErrs == 0 {
+		t.Error("no failures detected despite two crash cycles")
+	}
+	if first.violations != 0 {
+		t.Errorf("violations = %d", first.violations)
+	}
+	if first.faults == 0 {
+		t.Error("ambient chaos injected no faults")
+	}
+}
+
+// TestRecoveryBaselineNeedsNoReconnect: with zero crash cycles the QPs
+// never leave RTS, so loss-induced deadline misses must resolve as
+// transient — without tearing the connection down.
+func TestRecoveryBaselineNeedsNoReconnect(t *testing.T) {
+	m, err := runRecoveryPoint(Quick().normalized(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.reconnects != 0 {
+		t.Errorf("reconnects = %d at zero crash cycles", m.reconnects)
+	}
+	if m.qpErrs != 0 {
+		t.Errorf("qpErrs = %d at zero crash cycles", m.qpErrs)
+	}
+	if m.successes == 0 {
+		t.Error("no successful ops")
+	}
+}
+
+// TestChaosRecoverySweepShape: the sweep renders all seven series over
+// the full x axis (it already failed internally if any point saw an
+// invariant violation or an unclassified error).
+func TestChaosRecoverySweepShape(t *testing.T) {
+	fig, err := ChaosRecoverySweep(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(fig.Series); got != 7 {
+		t.Fatalf("series = %d, want 7", got)
+	}
+	for _, s := range fig.Series {
+		if got := len(s.Points); got != len(chaosRecoveryPoints) {
+			t.Errorf("series %q has %d points, want %d", s.Name, got, len(chaosRecoveryPoints))
+		}
+	}
+}

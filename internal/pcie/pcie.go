@@ -12,6 +12,7 @@
 package pcie
 
 import (
+	"errors"
 	"fmt"
 
 	"strom/internal/hostmem"
@@ -19,6 +20,10 @@ import (
 	"strom/internal/telemetry"
 	"strom/internal/tlb"
 )
+
+// ErrOffline reports a DMA command issued while the device is offline
+// (the machine hosting the NIC has crashed).
+var ErrOffline = errors.New("pcie: device offline")
 
 // Config describes a PCIe attachment.
 type Config struct {
@@ -101,8 +106,9 @@ type Engine struct {
 	h2c   *sim.Serializer // host-to-card (DMA reads)
 	c2h   *sim.Serializer // card-to-host (DMA writes)
 	mmio  *sim.Serializer // register path
-	st    Stats
-	stall StallFn // nil when no stall injection is attached
+	st      Stats
+	stall   StallFn // nil when no stall injection is attached
+	offline bool    // true while the hosting machine is crashed
 
 	// Structured tracing (nil when telemetry is disabled).
 	tb  *telemetry.TraceBuffer
@@ -184,10 +190,23 @@ func (e *Engine) stalled(t sim.Time) sim.Time {
 // Stats returns a snapshot of the activity counters.
 func (e *Engine) Stats() Stats { return e.st }
 
+// SetOffline flips the device's availability. While offline, new DMA
+// commands fail with ErrOffline after the usual command latency (the
+// driver observes a timeout/abort, not silence); commands already in
+// flight still complete — the data left the device before power was cut.
+func (e *Engine) SetOffline(off bool) { e.offline = off }
+
+// Offline reports whether the device is offline.
+func (e *Engine) Offline() bool { return e.offline }
+
 // ReadHost DMA-reads n bytes at virtual address va and delivers them to
 // done when the transfer completes. The TLB splits page-crossing commands;
 // each resulting segment pays the per-command overhead.
 func (e *Engine) ReadHost(va hostmem.Addr, n int, done func([]byte, error)) {
+	if e.offline {
+		e.eng.Schedule(e.cfg.ReadLatency, func() { done(nil, ErrOffline) })
+		return
+	}
 	segs, err := e.tlb.Split(va, n)
 	if err != nil {
 		e.eng.Schedule(e.cfg.ReadLatency, func() { done(nil, err) })
@@ -225,6 +244,10 @@ func (e *Engine) ReadHost(va hostmem.Addr, n int, done func([]byte, error)) {
 // write is globally visible in host memory (when a polling CPU can see
 // it). Posted writes complete without a round trip.
 func (e *Engine) WriteHost(va hostmem.Addr, data []byte, done func(error)) {
+	if e.offline {
+		e.eng.Schedule(e.cfg.WriteLatency, func() { done(ErrOffline) })
+		return
+	}
 	n := len(data)
 	if n == 0 {
 		e.eng.Schedule(e.cfg.WriteLatency, func() { done(nil) })

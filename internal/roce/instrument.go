@@ -1,6 +1,8 @@
 package roce
 
 import (
+	"strconv"
+
 	"strom/internal/packet"
 	"strom/internal/telemetry"
 )
@@ -38,6 +40,13 @@ func (s *Stack) AttachTelemetry(reg *telemetry.Registry, tb *telemetry.TraceBuff
 			reg.Counter("roce_timeouts", nic).Set(st.Timeouts)
 			reg.Counter("roce_dup_read_cache_hits", nic).Set(st.DupReadCacheHits)
 			reg.Counter("roce_dup_read_cache_misses", nic).Set(st.DupReadCacheMiss)
+			reg.Counter("roce_qp_errors", nic).Set(st.QPErrors)
+			reg.Counter("roce_qp_resets", nic).Set(st.QPResets)
+			reg.Counter("roce_deadline_expired", nic).Set(st.DeadlineExpired)
+			s.EachActiveQP(func(qpn uint32) {
+				reg.Gauge("roce_qp_state", nic,
+					telemetry.L("qp", strconv.Itoa(int(qpn)))).Set(float64(s.st.qps[qpn].state))
+			})
 		})
 	}
 	if tb != nil {
@@ -103,6 +112,11 @@ type Observer interface {
 	// progress. retries is the incremented retry counter; outstanding is
 	// the number of unacknowledged packets plus pending reads.
 	Timeout(qpn uint32, retries, outstanding int)
+	// QPStateChange records a lifecycle transition (see QPState). cause is
+	// non-nil only for transitions into ERROR. A transition to RESET
+	// invalidates all prior PSN expectations for the QP: after reconnect
+	// both directions restart from PSN zero.
+	QPStateChange(qpn uint32, state QPState, cause error)
 }
 
 // SetObserver installs a protocol observer (nil removes it).

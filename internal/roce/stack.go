@@ -51,6 +51,9 @@ type Stats struct {
 	Timeouts          uint64
 	DupReadCacheHits  uint64 // duplicate READs answered from the recent-read cache
 	DupReadCacheMiss  uint64 // duplicate READs outside the cache window (dropped)
+	QPErrors          uint64 // queue pairs moved to the ERROR state
+	QPResets          uint64 // queue pair resets (explicit or via restart)
+	DeadlineExpired   uint64 // verbs canceled by their deadline
 }
 
 // Request failure modes.
@@ -87,6 +90,10 @@ type Stack struct {
 	obs   Observer
 	opSeq uint64
 	dbg   DebugFaults
+
+	// frozen marks the whole stack dead (machine crash, see recovery.go):
+	// every post fails and every received frame is discarded.
+	frozen bool
 }
 
 // NewStack builds a stack. transmit pushes encoded frames into the
@@ -228,18 +235,21 @@ func (s *Stack) instrumentMsg(qpn uint32, opID uint64, kind string, msg *outMess
 // PostWrite issues an RDMA WRITE of data to remoteVA. done fires when the
 // remote NIC acknowledges the last packet.
 func (s *Stack) PostWrite(qpn uint32, remoteVA uint64, data []byte, done func(error)) error {
-	return s.postSegmented(qpn, packet.KindWrite, packet.RETH{VirtualAddress: remoteVA, DMALength: uint32(len(data))}, data, done)
+	return s.postSegmented(qpn, packet.KindWrite, packet.RETH{VirtualAddress: remoteVA, DMALength: uint32(len(data))}, data, 0, done)
 }
 
 // PostRPCWrite issues an RDMA RPC WRITE: payload streamed to the remote
 // kernel selected by rpcOp (§5.1).
 func (s *Stack) PostRPCWrite(qpn uint32, rpcOp uint64, data []byte, done func(error)) error {
-	return s.postSegmented(qpn, packet.KindRPCWrite, packet.RETH{VirtualAddress: rpcOp, DMALength: uint32(len(data))}, data, done)
+	return s.postSegmented(qpn, packet.KindRPCWrite, packet.RETH{VirtualAddress: rpcOp, DMALength: uint32(len(data))}, data, 0, done)
 }
 
-func (s *Stack) postSegmented(qpn uint32, kind packet.MessageKind, reth packet.RETH, data []byte, done func(error)) error {
+func (s *Stack) postSegmented(qpn uint32, kind packet.MessageKind, reth packet.RETH, data []byte, deadline sim.Time, done func(error)) error {
 	st, err := s.st.get(qpn)
 	if err != nil {
+		return err
+	}
+	if err := s.sendable(st); err != nil {
 		return err
 	}
 	opID := s.newOp(st)
@@ -249,6 +259,7 @@ func (s *Stack) postSegmented(qpn uint32, kind packet.MessageKind, reth packet.R
 	}
 	msg := &outMessage{kind: kind, complete: done}
 	s.instrumentMsg(qpn, opID, kindName(kind), msg)
+	s.armDeadline(msg, deadline)
 	for i, pkt := range pkts {
 		if s.obs != nil {
 			s.obs.TxRequest(qpn, pkt.BTH.PSN, 1, pkt.BTH.Opcode, false)
@@ -266,8 +277,17 @@ func (s *Stack) postSegmented(qpn uint32, kind packet.MessageKind, reth packet.R
 // PostRPC issues an RDMA RPC: a single Params packet carrying the kernel
 // op-code (in the RETH address field) and its parameters.
 func (s *Stack) PostRPC(qpn uint32, rpcOp uint64, params []byte, done func(error)) error {
+	return s.PostRPCDeadline(qpn, rpcOp, params, 0, done)
+}
+
+// PostRPCDeadline is PostRPC with an absolute sim-time deadline (zero
+// means none; see PostWriteDeadline).
+func (s *Stack) PostRPCDeadline(qpn uint32, rpcOp uint64, params []byte, deadline sim.Time, done func(error)) error {
 	st, err := s.st.get(qpn)
 	if err != nil {
+		return err
+	}
+	if err := s.sendable(st); err != nil {
 		return err
 	}
 	opID := s.newOp(st)
@@ -277,6 +297,7 @@ func (s *Stack) PostRPC(qpn uint32, rpcOp uint64, params []byte, done func(error
 	}
 	msg := &outMessage{complete: done}
 	s.instrumentMsg(qpn, opID, "RPC", msg)
+	s.armDeadline(msg, deadline)
 	if s.obs != nil {
 		s.obs.TxRequest(qpn, pkt.BTH.PSN, 1, pkt.BTH.Opcode, false)
 	}
@@ -294,8 +315,17 @@ func (s *Stack) PostRPC(qpn uint32, rpcOp uint64, params []byte, done func(error
 // the length of the response in advance to pre-calculate the number of
 // expected packets and their sequence numbers", §5.1).
 func (s *Stack) PostRead(qpn uint32, remoteVA uint64, n int, sink ReadSink, done func(error)) error {
+	return s.PostReadDeadline(qpn, remoteVA, n, 0, sink, done)
+}
+
+// PostReadDeadline is PostRead with an absolute sim-time deadline (zero
+// means none; see PostWriteDeadline).
+func (s *Stack) PostReadDeadline(qpn uint32, remoteVA uint64, n int, deadline sim.Time, sink ReadSink, done func(error)) error {
 	st, err := s.st.get(qpn)
 	if err != nil {
+		return err
+	}
+	if err := s.sendable(st); err != nil {
 		return err
 	}
 	opID := s.newOp(st)
@@ -313,6 +343,7 @@ func (s *Stack) PostRead(qpn uint32, remoteVA uint64, n int, sink ReadSink, done
 		return fmt.Errorf("%w: %v", ErrTooManyReads, err)
 	}
 	s.instrumentMsg(qpn, opID, "READ", msg)
+	s.armDeadline(msg, deadline)
 	pkt := packet.ReadRequest(st.remoteQPN, st.nextPSN, packet.RETH{VirtualAddress: remoteVA, DMALength: uint32(n)})
 	if s.obs != nil {
 		s.obs.TxRequest(qpn, pkt.BTH.PSN, npsn, pkt.BTH.Opcode, false)
@@ -358,6 +389,12 @@ func (s *Stack) process(frame []byte) {
 	if err != nil {
 		s.stats.RxDiscarded++
 		s.tracer.Logf("roce[%v]: discard %v: %v", s.id.IP, pkt, err)
+		return
+	}
+	if s.frozen || st.state != QPStateRTS {
+		// A crashed NIC or a QP outside RTS drops everything; stale
+		// frames must not resurrect flushed reliability state.
+		s.stats.RxDiscarded++
 		return
 	}
 	op := pkt.BTH.Opcode
@@ -573,8 +610,19 @@ func (s *Stack) ackUpTo(qpn uint32, st *qpState, psn uint32) {
 	s.armTimer(qpn, st)
 }
 
-// failPSN fails the message owning the packet with the given PSN.
+// failPSN fails the message owning the packet with the given PSN. A NAK
+// against a READ request is a remote access fault — the responder could
+// not serve the memory region — which the IB spec classes as fatal: the
+// whole QP moves to ERROR. NAKs against RPC/write packets stay
+// per-operation failures (the paper's stack writes an error code back
+// without tearing down the connection, §5.1).
 func (s *Stack) failPSN(qpn uint32, st *qpState, psn uint32) {
+	for _, p := range st.pending {
+		if p.isRead && psnGE(psn, p.psn) && psnGE(p.endPSN(), psn) {
+			s.moveToError(qpn, st, ErrRemoteInvalid)
+			return
+		}
+	}
 	keep := st.pending[:0]
 	for _, p := range st.pending {
 		covers := psnGE(psn, p.psn) && psnGE(p.endPSN(), psn)
@@ -694,14 +742,10 @@ func (s *Stack) onTimeout(qpn uint32, st *qpState, snap uint64) {
 		s.obs.Timeout(qpn, st.retries, len(st.pending)+s.mq.len(qpn))
 	}
 	if st.retries > s.cfg.MaxRetries {
-		for _, p := range st.pending {
-			p.msg.finish(ErrRetryExceeded)
-		}
-		st.pending = st.pending[:0]
-		for s.mq.len(qpn) > 0 {
-			e, _ := s.mq.popHead(qpn)
-			e.Msg.finish(ErrRetryExceeded)
-		}
+		// Retry exhaustion is transport-fatal: the QP moves to ERROR and
+		// every outstanding operation — not just the timed-out head —
+		// completes with a typed error (see recovery.go).
+		s.moveToError(qpn, st, ErrRetryExceeded)
 		return
 	}
 	// Go-back-N: resend every unacknowledged request packet; incomplete

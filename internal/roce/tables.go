@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"strom/internal/packet"
+	"strom/internal/sim"
 )
 
 // Errors returned by table operations.
@@ -30,6 +31,10 @@ type qpState struct {
 	created   bool
 	remote    Identity
 	remoteQPN uint32
+
+	// Lifecycle state (see recovery.go). The zero value is RTS so
+	// created QPs start ready to send.
+	state QPState
 
 	// Responder state (State Table): the expected PSN defining the
 	// valid/duplicate/invalid regions.
@@ -81,6 +86,10 @@ type outMessage struct {
 	complete func(error)
 	done     bool
 
+	// deadline is the verb's pending cancellation event (zero when the
+	// verb was posted without a deadline; see Stack.armDeadline).
+	deadline sim.Event
+
 	// Observer binding (nil unless the stack has an observer; see
 	// instrument.go). The lifecycle invariant is checked on opID.
 	obs    Observer
@@ -93,6 +102,7 @@ func (m *outMessage) finish(err error) {
 		return
 	}
 	m.done = true
+	m.deadline.Cancel()
 	if m.obs != nil {
 		m.obs.CompletedOp(m.obsQPN, m.obsID, err)
 	}

@@ -118,6 +118,29 @@ func (p *Pair) ApplyChaos(plan chaos.Plan) (*chaos.Injector, *chaos.Checker, *ch
 	return inj, ca, cb
 }
 
+// Reconnect re-establishes the testbed queue pair after a failure: both
+// ends are reset (flushing anything still outstanding) and reconnected
+// with fresh PSNs. It fails with roce.ErrPeerCrashed while either machine
+// is down — callers retry under backoff until the peer restarts.
+func (p *Pair) Reconnect() error {
+	if p.A.Crashed() {
+		return fmt.Errorf("%w: A is down", roce.ErrPeerCrashed)
+	}
+	if p.B.Crashed() {
+		return fmt.Errorf("%w: B is down", roce.ErrPeerCrashed)
+	}
+	if err := p.B.Stack().ResetQP(QPB); err != nil {
+		return err
+	}
+	if err := p.A.Stack().ResetQP(QPA); err != nil {
+		return err
+	}
+	if err := p.B.Stack().ReconnectQP(QPB); err != nil {
+		return err
+	}
+	return p.A.Stack().ReconnectQP(QPA)
+}
+
 // New10G is the common case: the 10 G testbed with 32 MB buffers.
 func New10G(seed int64) (*Pair, error) {
 	return New(seed, core.Profile10G(), fabric.DirectCable10G(), 32<<20)
