@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race cover recovery fuzz bench
+.PHONY: check vet build test race cover recovery protect fuzz bench
 
 check: build test
 
@@ -27,13 +27,23 @@ cover:
 recovery:
 	$(GO) test -race -run 'Recovery|Crash|Deadline|QPState|Reconnect' ./internal/roce ./internal/core ./internal/experiments .
 
+# protect runs the memory-protection suite on its own under the race
+# detector: MR table semantics, the responder NAK matrix at both the
+# transport and NIC level, the kernel DMA sandbox, the rogue-requester
+# sweep and the invariant-9 fire drill.
+protect:
+	$(GO) test -race ./internal/mr
+	$(GO) test -race -run 'MR|NAKMatrix|RKey|RemoteKey|Protect|Rogue|Invariant9|Sandbox|Revalidat|Fault' ./internal/roce ./internal/core ./internal/kernels/traversal ./internal/experiments .
+
 # fuzz smoke-runs the checked-in fuzzers for 10s each on top of their
 # seed corpora (packet header round-trip, CRC slicing equivalence, QP
-# state-machine exactly-once under random fault interleavings).
+# state-machine exactly-once under random fault interleavings, RETH
+# validation never-false-accept).
 fuzz:
 	$(GO) test ./internal/packet -fuzz=FuzzHeaderRoundTrip -fuzztime=10s
 	$(GO) test ./internal/crc -fuzz=FuzzCRCSlicingEquivalence -fuzztime=10s
 	$(GO) test ./internal/roce -fuzz=FuzzQPStateMachine -fuzztime=10s
+	$(GO) test ./internal/roce -fuzz=FuzzRETHValidation -fuzztime=10s
 
 # bench runs the microbenchmarks (root macro benches plus the scheduler
 # and telemetry hot paths) and then the quick experiment suite with the

@@ -3,6 +3,7 @@ package chaos
 import (
 	"fmt"
 
+	"strom/internal/mr"
 	"strom/internal/packet"
 	"strom/internal/roce"
 	"strom/internal/sim"
@@ -32,10 +33,10 @@ type qpCheck struct {
 	epsn     uint32
 	epsnSeen bool
 	// Retransmission-timer discipline.
-	lastTimeout  sim.Time
-	timeoutSeen  bool
-	awaitResend  bool
-	resendSince  sim.Time
+	lastTimeout sim.Time
+	timeoutSeen bool
+	awaitResend bool
+	resendSince sim.Time
 	// Lifecycle state as last announced via QPStateChange.
 	state roce.QPState
 }
@@ -68,6 +69,10 @@ type readServing struct {
 //  8. A QP in ERROR never transmits fresh PSNs: after the flush, only a
 //     reset/reconnect may put new work on the wire, and the reconnect
 //     restarts the PSN space from zero (recovery invariant).
+//  9. No DMA ever touches bytes outside a registered memory region with
+//     the right permission (protection invariant; see DMAGuard). This is
+//     asserted at DMA issue, downstream of validation, so a validation
+//     bug — not just a hostile requester — trips it.
 //
 // A violation is recorded, not panicked, so a full chaos sweep reports
 // every broken invariant at once. The checker is not an impairment: it
@@ -246,6 +251,21 @@ func (c *Checker) QPStateChange(qpn uint32, state roce.QPState, cause error) {
 			if k.qpn == qpn {
 				delete(c.reads, k)
 			}
+		}
+	}
+}
+
+// DMAGuard returns a DMA-issue observer (core.NIC.SetDMAObserver)
+// asserting invariant 9 against tbl: every DMA command the NIC issues
+// must land inside a registered region granting the access class the
+// command was issued for. The guard uses the table's non-counting Probe
+// so attaching it never perturbs the mr_validation_fail telemetry, and it
+// keeps firing when the SkipMRValidation debug fault is armed — that is
+// how a deliberately broken validator is caught.
+func (c *Checker) DMAGuard(tbl *mr.Table) func(need mr.Access, va uint64, nbytes int) {
+	return func(need mr.Access, va uint64, nbytes int) {
+		if f := tbl.Probe(va, uint64(nbytes), need); f != nil {
+			c.violate("DMA outside protection domain: %v", f)
 		}
 	}
 }

@@ -54,8 +54,8 @@ func (g GilbertElliott) AverageLoss() float64 {
 // burstLossBad is the in-burst drop probability BurstyLoss assumes, and
 // burstMeanLen the mean burst length in frames.
 const (
-	burstLossBad  = 0.75
-	burstMeanLen  = 10.0
+	burstLossBad = 0.75
+	burstMeanLen = 10.0
 )
 
 // BurstyLoss returns a Gilbert–Elliott model whose stationary loss rate

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"strom/internal/hostmem"
+	"strom/internal/mr"
 	"strom/internal/roce"
 	"strom/internal/sim"
 )
@@ -62,6 +63,10 @@ func (n *NIC) Restart() {
 	n.stats.Restarts++
 	n.dma.SetOffline(false)
 	n.stack.Restart()
+	// Rotate every region's rkey: keys handed out before the crash are
+	// dead, exactly like rkeys minted by a restarted RNIC driver. Peers
+	// must re-fetch keys alongside the QP reconnect.
+	n.mrt.RotateKeys()
 }
 
 // Crashed reports whether the machine is currently down.
@@ -102,45 +107,13 @@ func (n *NIC) withDeadline(deadline sim.Time, done func(error)) func(error) {
 // the wire keep draining through go-back-N — cancellation decouples the
 // application from the transport without disturbing the PSN space.
 func (n *NIC) PostWriteDeadline(qpn uint32, localVA, remoteVA uint64, nbytes int, deadline sim.Time, done func(error)) {
-	done = n.withDeadline(deadline, n.instrumentOp("WRITE", qpn, done))
-	if n.crashed {
-		n.completeErr(done, ErrMachineDown)
-		return
-	}
-	n.ringDoorbell(func() {
-		n.dma.ReadHost(hostmem.Addr(localVA), nbytes, func(data []byte, err error) {
-			if err != nil {
-				n.completeErr(done, err)
-				return
-			}
-			if err := n.stack.PostWriteDeadline(qpn, remoteVA, data, deadline, done); err != nil {
-				n.completeErr(done, err)
-			}
-		})
-	})
+	n.PostWriteKeyDeadline(qpn, localVA, remoteVA, 0, nbytes, deadline, done)
 }
 
 // PostReadDeadline is PostRead with an absolute sim-time deadline (zero
 // means none; see PostWriteDeadline).
 func (n *NIC) PostReadDeadline(qpn uint32, remoteVA, localVA uint64, nbytes int, deadline sim.Time, done func(error)) {
-	done = n.withDeadline(deadline, n.instrumentOp("READ", qpn, done))
-	if n.crashed {
-		n.completeErr(done, ErrMachineDown)
-		return
-	}
-	n.ringDoorbell(func() {
-		sink := func(off int, chunk []byte, ack func()) {
-			n.dma.WriteHost(hostmem.Addr(localVA)+hostmem.Addr(off), chunk, func(err error) {
-				if err != nil {
-					n.tracer.Logf("nic: read sink DMA failed: %v", err)
-				}
-				ack()
-			})
-		}
-		if err := n.stack.PostReadDeadline(qpn, remoteVA, nbytes, deadline, sink, done); err != nil {
-			n.completeErr(done, err)
-		}
-	})
+	n.PostReadKeyDeadline(qpn, remoteVA, localVA, 0, nbytes, deadline, done)
 }
 
 // PostRPCDeadline is PostRPC with an absolute sim-time deadline (zero
@@ -168,6 +141,7 @@ func (n *NIC) PostRPCWriteDeadline(qpn uint32, rpcOp uint64, localVA uint64, nby
 		return
 	}
 	n.ringDoorbell(func() {
+		n.observeDMA(mr.AccessLocal, localVA, nbytes)
 		n.dma.ReadHost(hostmem.Addr(localVA), nbytes, func(data []byte, err error) {
 			if err != nil {
 				n.completeErr(done, err)

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strconv"
 
+	"strom/internal/mr"
 	"strom/internal/telemetry"
 )
 
@@ -52,6 +53,12 @@ func (n *NIC) AttachTelemetry(reg *telemetry.Registry, tb *telemetry.TraceBuffer
 			reg.Counter("nic_tlb_lookups", nic).Set(n.tlb.Lookups)
 			reg.Counter("nic_tlb_splits", nic).Set(n.tlb.Splits)
 			reg.Counter("nic_tlb_misses", nic).Set(n.tlb.Misses)
+			reg.Counter("kernel_mr_fault", nic).Set(n.stats.KernelMRFaults)
+			// Every violation class exports every collection so the label
+			// set (and the telemetry diff baseline) is stable.
+			for c := mr.Class(0); c < mr.NumClasses; c++ {
+				reg.Counter("mr_validation_fail", nic, telemetry.L("class", c.String())).Set(n.mrt.FailCount(c))
+			}
 		})
 	}
 	// One trace lane and occupancy instrumentation per deployed kernel,

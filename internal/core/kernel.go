@@ -10,6 +10,7 @@ import (
 
 	"strom/internal/fpga"
 	"strom/internal/hostmem"
+	"strom/internal/mr"
 	"strom/internal/roce"
 	"strom/internal/sim"
 )
@@ -75,12 +76,33 @@ func (c *Context) Delay(cycles int, fn func()) {
 	})
 }
 
+// failDMA delivers a sandbox rejection as a command completion after one
+// pipeline cycle — same shape and determinism as a DMA engine error, but
+// nothing ever reaches the engine. Epoch-guarded like real completions.
+func (c *Context) failDMA(deliver func()) {
+	epoch := c.nic.epoch
+	c.nic.eng.Schedule(c.cycle, func() {
+		if c.nic.epoch != epoch {
+			c.nic.stats.KernelAborts++
+			return
+		}
+		deliver()
+	})
+}
+
 // DMARead issues a read of host memory over the dmaCmdOut/dmaDataIn
-// streams: a PCIe round trip of roughly 1.5 µs (§6.2). If the machine
-// crashes while the command is in flight, the completion is dropped and
-// the kernel FSM aborts (epoch guard).
+// streams: a PCIe round trip of roughly 1.5 µs (§6.2). The command is
+// sandboxed against the MR table first — a kernel chasing a pointer out
+// of registered memory gets a typed mr.ErrAccess completion, never a DMA.
+// If the machine crashes while the command is in flight, the completion
+// is dropped and the kernel FSM aborts (epoch guard).
 func (c *Context) DMARead(va uint64, n int, done func([]byte, error)) {
+	if err := c.nic.checkKernelDMA(va, n); err != nil {
+		c.failDMA(func() { done(nil, err) })
+		return
+	}
 	c.nic.stats.KernelDMAReads++
+	c.nic.observeDMA(mr.AccessKernel, va, n)
 	epoch := c.nic.epoch
 	inner := done
 	done = func(data []byte, err error) {
@@ -95,10 +117,19 @@ func (c *Context) DMARead(va uint64, n int, done func([]byte, error)) {
 	c.nic.dma.ReadHost(hostmem.Addr(va), n, done)
 }
 
-// DMAWrite issues a write to host memory over dmaCmdOut/dmaDataOut. The
-// completion is epoch-guarded like DMARead's.
+// DMAWrite issues a write to host memory over dmaCmdOut/dmaDataOut,
+// sandboxed like DMARead. The completion is epoch-guarded like DMARead's.
 func (c *Context) DMAWrite(va uint64, data []byte, done func(error)) {
+	if err := c.nic.checkKernelDMA(va, len(data)); err != nil {
+		c.failDMA(func() {
+			if done != nil {
+				done(err)
+			}
+		})
+		return
+	}
 	c.nic.stats.KernelDMAWrites++
+	c.nic.observeDMA(mr.AccessKernel, va, len(data))
 	epoch := c.nic.epoch
 	inner := done
 	done = func(err error) {

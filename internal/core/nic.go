@@ -8,6 +8,7 @@ import (
 	"strom/internal/cpu"
 	"strom/internal/fpga"
 	"strom/internal/hostmem"
+	"strom/internal/mr"
 	"strom/internal/packet"
 	"strom/internal/pcie"
 	"strom/internal/roce"
@@ -60,6 +61,8 @@ type NICStats struct {
 	Restarts          uint64
 	FramesDroppedDown uint64 // frames arriving while crashed
 	KernelAborts      uint64 // kernel FSM continuations dropped by a crash
+	// Memory protection (see protect.go).
+	KernelMRFaults uint64 // kernel DMA commands rejected by the MR table
 }
 
 // RPCFallback is the optional host-CPU fallback for unmatched RPC
@@ -91,6 +94,14 @@ type NIC struct {
 	stats    NICStats
 	tel      *nicTelemetry // nil when telemetry is disabled
 
+	// Memory protection (see protect.go): the region table the responder
+	// validates RETHs against, the per-buffer region index, the DMA-issue
+	// observer (invariant checking) and the validation-skip debug fault.
+	mrt     *mr.Table
+	regions map[uint64]*mr.Region // buffer base VA -> region
+	dmaObs  func(need mr.Access, va uint64, nbytes int)
+	dbg     DebugFaults
+
 	// Crash state (see crash.go). epoch increments on every Crash and
 	// Restart; kernel continuations capture it and abort when it moves.
 	crashed bool
@@ -109,6 +120,8 @@ func NewNIC(eng *sim.Engine, cfg Config, id roce.Identity, tracer *sim.Tracer) *
 		tracer:   tracer,
 		kernels:  make(map[uint64]*deployment),
 		doorbell: sim.NewSerializer(eng),
+		mrt:      mr.NewTable(),
+		regions:  make(map[uint64]*mr.Region),
 	}
 	n.dma = pcie.NewEngine(eng, n.mem, n.tlb, cfg.PCIe)
 	// A crashed NIC puts nothing on the wire: frames already queued in
@@ -199,19 +212,11 @@ func (n *NIC) AllocBuffer(size int) (*hostmem.Buffer, error) {
 	return buf, nil
 }
 
-// RegisterMemory populates the TLB for an already-allocated buffer.
+// RegisterMemory populates the TLB for an already-allocated buffer and
+// registers it as a full-access memory region (use RegisterMemoryFlags to
+// restrict the access rights).
 func (n *NIC) RegisterMemory(buf *hostmem.Buffer) error {
-	pas, err := buf.PhysicalPages()
-	if err != nil {
-		return err
-	}
-	for i, pa := range pas {
-		va := buf.Base() + hostmem.Addr(i*hostmem.HugePageSize)
-		if err := n.tlb.Populate(va, pa); err != nil {
-			return err
-		}
-	}
-	return nil
+	return n.RegisterMemoryFlags(buf, mr.AccessFull)
 }
 
 // DeployKernel binds a kernel to an RPC op-code; incoming RPCs are
@@ -244,7 +249,10 @@ func (n *NIC) KernelResources() fpga.Resources {
 
 // HandleWrite implements the direct RoCE→DMA path for plain RDMA WRITEs;
 // kernels are not involved (§5.2: the existing direct data path remains).
+// The stack already validated the RETH (ValidateRemote), so the DMA here
+// targets registered memory — the observer hook re-checks that invariant.
 func (n *NIC) HandleWrite(qpn uint32, va uint64, data []byte, last bool) {
+	n.observeDMA(mr.AccessRemoteWrite, va, len(data))
 	n.dma.WriteHost(hostmem.Addr(va), data, func(err error) {
 		if err != nil {
 			n.tracer.Logf("nic: write DMA failed: %v", err)
@@ -254,6 +262,7 @@ func (n *NIC) HandleWrite(qpn uint32, va uint64, data []byte, last bool) {
 
 // HandleReadRequest implements the direct DMA→RoCE path for RDMA READs.
 func (n *NIC) HandleReadRequest(qpn uint32, va uint64, nbytes int, deliver func([]byte, error)) {
+	n.observeDMA(mr.AccessRemoteRead, va, nbytes)
 	n.dma.ReadHost(hostmem.Addr(va), nbytes, deliver)
 }
 
@@ -392,6 +401,7 @@ func (n *NIC) StreamLocal(rpcOp uint64, qpn uint32, localVA uint64, nbytes int, 
 			n.completeErr(done, fmt.Errorf("%w: %#x", ErrNoKernel, rpcOp))
 			return
 		}
+		n.observeDMA(mr.AccessLocal, localVA, nbytes)
 		n.dma.ReadHost(hostmem.Addr(localVA), nbytes, func(data []byte, err error) {
 			if err != nil {
 				n.completeErr(done, err)

@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"strings"
 
 	"strom/internal/chaos"
 	"strom/internal/hostmem"
+	"strom/internal/kernels/traversal"
+	"strom/internal/mr"
 	"strom/internal/sim"
 	"strom/internal/stats"
 	"strom/internal/testrig"
@@ -33,6 +36,7 @@ func Chaos() []Generator {
 		{"chaos-loss", ChaosLossSweep},
 		{"chaos-flap", ChaosFlapSweep},
 		{"chaos-recovery", ChaosRecoverySweep},
+		{"chaos-protect", ChaosProtectSweep},
 	}
 }
 
@@ -217,15 +221,57 @@ func chaosTelemetryPlan() chaos.Plan {
 // engine seeded from o.Seed, so the output is byte-identical regardless
 // of -j; the invariant checkers on both stacks must stay silent or the
 // scenario fails.
+//
+// Beside the legitimate workload the scenario exercises the whole
+// memory-protection surface, so every protection counter exports with a
+// real value: a rogue requester forges bad accesses on a second QP pair
+// (roce_nak_remote_access, mr_validation_fail), and one traversal RPC is
+// sent chasing a pointer into unregistered memory so the kernel sandbox
+// fires (kernel_mr_fault).
 func WriteChaosTelemetry(o Options, metricsW, traceW io.Writer) error {
 	o = o.normalized()
 	pair, err := newPair(o.Seed, profile10G(), 8<<20)
 	if err != nil {
 		return err
 	}
+	// Read-only region on B: the rogue's permission-attack target.
+	roBuf, err := pair.B.AllocBufferFlags(1<<20, mr.AccessRemoteRead)
+	if err != nil {
+		return err
+	}
+	kern := traversal.New(0)
+	if err := pair.B.DeployKernel(traversalOp, kern); err != nil {
+		return err
+	}
 	tel := pair.Instrument()
 	inj, ca, cb := pair.ApplyChaos(chaosTelemetryPlan())
 	inj.AttachTelemetry(tel.Registry)
+	if err := pair.ExchangeRKeys(testrig.QPA, testrig.QPB); err != nil {
+		return err
+	}
+	if err := pair.AddQueuePair(3, 4); err != nil {
+		return err
+	}
+	rogue, err := chaos.NewRogue(pair.A, chaos.RogueConfig{
+		QPN:     3,
+		LocalVA: uint64(pair.BufA.Base()) + uint64(pair.BufA.Size()/2),
+		Target: chaos.RogueTarget{
+			Base:   uint64(pair.BufB.Base()),
+			Size:   uint64(pair.BufB.Size()),
+			Key:    func() uint32 { return pair.B.RegionFor(uint64(pair.BufB.Base())).RKey() },
+			ROBase: uint64(roBuf.Base()),
+			ROSize: uint64(roBuf.Size()),
+			ROKey:  func() uint32 { return pair.B.RegionFor(uint64(roBuf.Base())).RKey() },
+		},
+		Ops:        6,
+		OpDeadline: 500 * sim.Microsecond,
+		Backoff:    20 * sim.Microsecond,
+		Reconnect:  func() error { return pair.ReconnectPair(3, 4) },
+	}, nil)
+	if err != nil {
+		return err
+	}
+	rogue.Start()
 
 	const xfer = 32 << 10
 	localA := uint64(pair.BufA.Base())
@@ -243,11 +289,27 @@ func WriteChaosTelemetry(o Options, metricsW, traceW io.Writer) error {
 			if runErr = pair.A.WriteSync(p, testrig.QPA, localA, writeB, xfer); runErr != nil {
 				return
 			}
-			runErr = pair.A.ReadSync(p, testrig.QPA, uint64(readB), localA, xfer)
+			if runErr = pair.A.ReadSync(p, testrig.QPA, uint64(readB), localA, xfer); runErr != nil {
+				return
+			}
+		}
+		// Kernel-sandbox phase: chase a pointer into unregistered memory.
+		// The kernel's first element fetch faults, the RPC completes with
+		// StatusFault, and kernel_mr_fault exports as 1.
+		params := traversal.Params{
+			RemoteAddress:   1 << 40,
+			ResponseAddress: uint64(pair.BufA.Base()) + 1<<20,
+			ValueSize:       64,
+		}
+		if _, lerr := traversal.Lookup(p, pair.A, testrig.QPA, traversalOp, params); !errors.Is(lerr, traversal.ErrFault) {
+			runErr = fmt.Errorf("sandboxed lookup: got %v, want %v", lerr, traversal.ErrFault)
 		}
 	})
 	pair.StartProbes(tel, 2*sim.Microsecond)
 	pair.Eng.Run()
+	if runErr == nil && rogue.Stats().Unexpected > 0 {
+		runErr = fmt.Errorf("rogue requester: %d forged requests completed (protection failed)", rogue.Stats().Unexpected)
+	}
 	if runErr != nil {
 		return fmt.Errorf("chaos telemetry scenario: %w", runErr)
 	}

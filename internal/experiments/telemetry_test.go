@@ -194,10 +194,30 @@ func TestChaosTelemetryMetricsContent(t *testing.T) {
 		"roce_retransmissions{nic=10.0.0.1}",
 		"link_dropped{dir=a-to-b}",
 		"pcie_dma_stalled_commands{nic=A}",
+		// The protection surface: the rogue requester's forged accesses
+		// NAK'd by B, and the sandboxed traversal's rejected kernel DMA.
+		"roce_nak_remote_access{nic=10.0.0.2}",
+		"kernel_mr_fault{nic=B}",
 	} {
 		if snap.Counters[key] == 0 {
 			t.Errorf("counter %q missing or zero", key)
 		}
+	}
+	// Every violation class exports under a stable label set on both
+	// NICs (zero or not), and the rogue's attacks moved at least one.
+	var valFails uint64
+	for _, class := range []string{"bad_rkey", "stale_epoch", "out_of_bounds", "permission", "unregistered"} {
+		for _, nic := range []string{"A", "B"} {
+			key := "mr_validation_fail{class=" + class + ",nic=" + nic + "}"
+			v, ok := snap.Counters[key]
+			if !ok {
+				t.Errorf("counter %q not registered", key)
+			}
+			valFails += v
+		}
+	}
+	if valFails == 0 {
+		t.Errorf("mr_validation_fail never moved despite the rogue phase")
 	}
 }
 

@@ -36,6 +36,7 @@ var (
 	ErrNotPinned   = errors.New("hostmem: page not pinned")
 	ErrDoubleFree  = errors.New("hostmem: buffer already freed")
 	ErrUnalignedVA = errors.New("hostmem: unaligned virtual base")
+	ErrWrap        = errors.New("hostmem: address range wraps the 64-bit space")
 )
 
 // Memory is one host's DRAM: a set of physical huge pages plus the
@@ -121,8 +122,12 @@ func (b *Buffer) Base() Addr { return b.base }
 // Size returns the buffer's length in bytes.
 func (b *Buffer) Size() int { return b.size }
 
-// Contains reports whether [va, va+n) lies inside the buffer.
+// Contains reports whether [va, va+n) lies inside the buffer. Negative
+// lengths and ranges that wrap the 64-bit space are never contained.
 func (b *Buffer) Contains(va Addr, n int) bool {
+	if n < 0 || uint64(va)+uint64(n) < uint64(va) {
+		return false
+	}
 	return va >= b.base && uint64(va)+uint64(n) <= uint64(b.base)+uint64(b.size)
 }
 
@@ -201,6 +206,9 @@ func (m *Memory) ReadVirt(va Addr, n int) ([]byte, error) {
 	if n < 0 {
 		return nil, ErrBadLength
 	}
+	if uint64(va)+uint64(n) < uint64(va) {
+		return nil, fmt.Errorf("%w: VA %#x + %d", ErrWrap, uint64(va), n)
+	}
 	out := make([]byte, n)
 	off := 0
 	for off < n {
@@ -223,6 +231,9 @@ func (m *Memory) ReadVirt(va Addr, n int) ([]byte, error) {
 
 // WriteVirt copies data to virtual address va.
 func (m *Memory) WriteVirt(va Addr, data []byte) error {
+	if uint64(va)+uint64(len(data)) < uint64(va) {
+		return fmt.Errorf("%w: VA %#x + %d", ErrWrap, uint64(va), len(data))
+	}
 	off := 0
 	for off < len(data) {
 		pa, err := m.Translate(va)

@@ -2,6 +2,8 @@ package hostmem
 
 import (
 	"bytes"
+	"errors"
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -170,6 +172,38 @@ func TestContains(t *testing.T) {
 	}
 	if b.Contains(b.Base()-1, 1) {
 		t.Error("below base contained")
+	}
+	if b.Contains(b.Base(), -1) {
+		t.Error("negative length contained")
+	}
+	// A range whose VA+length wraps uint64 used to alias back into the
+	// buffer's arithmetic; it must never be contained.
+	if b.Contains(Addr(math.MaxUint64-8), 64) {
+		t.Error("wrapping range contained")
+	}
+}
+
+// TestVirtAccessWrapBoundary pins the CPU-access wrap guards: reads and
+// writes whose VA+length wraps the 64-bit space fail with ErrWrap
+// instead of walking pages through the wrap.
+func TestVirtAccessWrapBoundary(t *testing.T) {
+	m := New(4)
+	if _, err := m.ReadVirt(Addr(math.MaxUint64-8), 64); !errors.Is(err, ErrWrap) {
+		t.Fatalf("ReadVirt wrap: err = %v, want ErrWrap", err)
+	}
+	if err := m.WriteVirt(Addr(math.MaxUint64-8), make([]byte, 64)); !errors.Is(err, ErrWrap) {
+		t.Fatalf("WriteVirt wrap: err = %v, want ErrWrap", err)
+	}
+	// Wrap-to-zero exactly (VA+n == 0) is still a wrap.
+	if _, err := m.ReadVirt(Addr(math.MaxUint64-63), 64); !errors.Is(err, ErrWrap) {
+		t.Fatalf("ReadVirt wrap-to-zero: err = %v, want ErrWrap", err)
+	}
+	// Zero-length accesses at the very top of the space are legal no-ops.
+	if _, err := m.ReadVirt(Addr(math.MaxUint64), 0); err != nil {
+		t.Fatalf("zero-length read at top: %v", err)
+	}
+	if err := m.WriteVirt(Addr(math.MaxUint64), nil); err != nil {
+		t.Fatalf("zero-length write at top: %v", err)
 	}
 }
 

@@ -14,6 +14,9 @@ import (
 var (
 	ErrNotFound = errors.New("traversal: key not found")
 	ErrRemote   = errors.New("traversal: remote kernel error")
+	// ErrFault reports a traversal terminated by the remote NIC's memory
+	// sandbox: the pointer chase left registered memory (StatusFault).
+	ErrFault = errors.New("traversal: pointer chase left registered memory")
 )
 
 // Lookup issues a traversal RPC from the calling process and polls local
@@ -40,6 +43,8 @@ func Lookup(p *sim.Process, nic *core.NIC, qpn uint32, rpcOp uint64, params Para
 		return nic.Memory().ReadVirt(hostmem.Addr(params.ResponseAddress), int(params.ValueSize))
 	case StatusNotFound:
 		return nil, ErrNotFound
+	case StatusFault:
+		return nil, ErrFault
 	default:
 		return nil, fmt.Errorf("%w (status %d)", ErrRemote, status)
 	}

@@ -16,6 +16,7 @@ import (
 
 	"strom/internal/core"
 	"strom/internal/fpga"
+	"strom/internal/mr"
 )
 
 // ElementSize is the fixed size of one data-structure element read per
@@ -72,6 +73,10 @@ const (
 	StatusFound    = 1
 	StatusNotFound = 2
 	StatusError    = 3
+	// StatusFault reports a traversal whose pointer chase left registered
+	// memory: the NIC's DMA sandbox rejected the hop (mr.ErrAccess) and
+	// the kernel terminated deterministically instead of faulting.
+	StatusFault = 4
 )
 
 // Params is the Table 2 parameter set, plus the response address the
@@ -158,6 +163,7 @@ type Stats struct {
 	Found       uint64
 	NotFound    uint64
 	Errors      uint64
+	MRFaults    uint64 // hops rejected by the NIC's memory-region sandbox
 }
 
 // Kernel is the traversal kernel.
@@ -218,8 +224,7 @@ func (k *Kernel) step(ctx *core.Context, qpn uint32, p Params, addr uint64, hops
 	ctx.State(qpn, "FETCH_ELEMENT")
 	ctx.DMARead(addr, ElementSize, func(elem []byte, err error) {
 		if err != nil {
-			k.stats.Errors++
-			k.finish(ctx, qpn, p, nil, StatusError)
+			k.finish(ctx, qpn, p, nil, k.classify(ctx, err))
 			return
 		}
 		// Compare all masked key positions concurrently (the unrolled
@@ -249,8 +254,7 @@ func (k *Kernel) step(ctx *core.Context, qpn uint32, p Params, addr uint64, hops
 			ctx.State(qpn, "READ_VALUE")
 			ctx.DMARead(valuePtr, int(p.ValueSize), func(value []byte, err error) {
 				if err != nil {
-					k.stats.Errors++
-					k.finish(ctx, qpn, p, nil, StatusError)
+					k.finish(ctx, qpn, p, nil, k.classify(ctx, err))
 					return
 				}
 				k.finish(ctx, qpn, p, value, StatusFound)
@@ -270,6 +274,19 @@ func (k *Kernel) step(ctx *core.Context, qpn uint32, p Params, addr uint64, hops
 		next := binary.LittleEndian.Uint64(elem[4*npos : 4*npos+8])
 		k.step(ctx, qpn, p, next, hopsLeft-1)
 	})
+}
+
+// classify maps a hop's DMA error to a response status: sandbox
+// rejections (the chase left registered memory) report StatusFault, every
+// other failure StatusError.
+func (k *Kernel) classify(ctx *core.Context, err error) uint64 {
+	if errors.Is(err, mr.ErrAccess) {
+		k.stats.MRFaults++
+		ctx.Tracef("hop left registered memory: %v", err)
+		return StatusFault
+	}
+	k.stats.Errors++
+	return StatusError
 }
 
 // finish transmits the value (if any) followed by the status word.

@@ -270,6 +270,10 @@ func TestMaxHopsTerminatesCycle(t *testing.T) {
 }
 
 func TestBadPointerReportsError(t *testing.T) {
+	// A wild value pointer leaves registered memory: the NIC's DMA sandbox
+	// rejects the hop, the kernel terminates deterministically with
+	// StatusFault in the completion, and the fault counters tick. No
+	// ErrNotMapped ever reaches the DMA engine.
 	p, k, region := newBed(t, 1)
 	e1, _ := region.Alloc(traversal.ElementSize)
 	elem := make([]byte, traversal.ElementSize)
@@ -283,13 +287,46 @@ func TestBadPointerReportsError(t *testing.T) {
 	}
 	p.Eng.Go("client", func(pr *sim.Process) {
 		_, err := traversal.Lookup(pr, p.A, testrig.QPA, rpcOp, params)
-		if !errors.Is(err, traversal.ErrRemote) {
-			t.Errorf("err = %v", err)
+		if !errors.Is(err, traversal.ErrFault) {
+			t.Errorf("err = %v, want ErrFault", err)
 		}
 	})
 	p.Eng.Run()
-	if k.Stats().Errors == 0 {
-		t.Error("no kernel error recorded")
+	if k.Stats().MRFaults != 1 {
+		t.Errorf("kernel MRFaults = %d, want 1", k.Stats().MRFaults)
+	}
+	if got := p.B.Stats().KernelMRFaults; got != 1 {
+		t.Errorf("NIC KernelMRFaults = %d, want 1", got)
+	}
+}
+
+func TestSandboxedChaseTerminatesDeterministically(t *testing.T) {
+	// A next-element pointer aimed outside every registered region: the
+	// traversal must stop at that hop with StatusFault — identically on
+	// two runs at the same seed — instead of chasing into unmapped space.
+	for run := 0; run < 2; run++ {
+		p, k, region := newBed(t, 11)
+		e1, _ := region.Alloc(traversal.ElementSize)
+		elem := make([]byte, traversal.ElementSize)
+		binary.LittleEndian.PutUint64(elem[0:], 99)    // key that never matches
+		binary.LittleEndian.PutUint64(elem[8:], 1<<40) // next ptr far outside
+		p.B.Memory().WriteVirt(e1, elem)
+		params := traversal.Params{
+			RemoteAddress: uint64(e1), ValueSize: 8, Key: 5, KeyMask: 1,
+			PredicateOp: traversal.Equal, NextElementPtrPosition: 2,
+			NextElementPtrValid: true, ResponseAddress: uint64(p.BufA.Base()),
+			MaxHops: 100,
+		}
+		p.Eng.Go("client", func(pr *sim.Process) {
+			_, err := traversal.Lookup(pr, p.A, testrig.QPA, rpcOp, params)
+			if !errors.Is(err, traversal.ErrFault) {
+				t.Errorf("run %d: err = %v, want ErrFault", run, err)
+			}
+		})
+		p.Eng.Run()
+		if st := k.Stats(); st.Hops != 2 || st.MRFaults != 1 {
+			t.Errorf("run %d: hops=%d mrFaults=%d, want 2 hops and 1 fault", run, st.Hops, st.MRFaults)
+		}
 	}
 }
 

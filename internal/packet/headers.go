@@ -81,9 +81,10 @@ type AETH struct {
 
 // AETH syndrome values used by the stack.
 const (
-	SynACK         = 0x00
-	SynNAKSequence = 0x60 // PSN sequence error → go-back-N
-	SynNAKInvalid  = 0x61 // invalid request (e.g. no matching kernel)
+	SynACK             = 0x00
+	SynNAKSequence     = 0x60 // PSN sequence error → go-back-N
+	SynNAKInvalid      = 0x61 // invalid request (e.g. no matching kernel)
+	SynNAKRemoteAccess = 0x62 // memory protection violation (rkey/bounds/permission)
 )
 
 // Packet is a fully parsed RoCE v2 packet. Optional headers are nil when

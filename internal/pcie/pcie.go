@@ -99,13 +99,13 @@ type StallFn func(now sim.Time) sim.Duration
 // Engine is the DMA engine with descriptor bypass: the NIC data path (and
 // StRoM kernels) issue commands directly, without CPU synchronization.
 type Engine struct {
-	eng  *sim.Engine
-	mem  *hostmem.Memory
-	tlb  *tlb.TLB
-	cfg  Config
-	h2c   *sim.Serializer // host-to-card (DMA reads)
-	c2h   *sim.Serializer // card-to-host (DMA writes)
-	mmio  *sim.Serializer // register path
+	eng     *sim.Engine
+	mem     *hostmem.Memory
+	tlb     *tlb.TLB
+	cfg     Config
+	h2c     *sim.Serializer // host-to-card (DMA reads)
+	c2h     *sim.Serializer // card-to-host (DMA writes)
+	mmio    *sim.Serializer // register path
 	st      Stats
 	stall   StallFn // nil when no stall injection is attached
 	offline bool    // true while the hosting machine is crashed

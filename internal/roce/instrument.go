@@ -34,6 +34,7 @@ func (s *Stack) AttachTelemetry(reg *telemetry.Registry, tb *telemetry.TraceBuff
 			reg.Counter("roce_rx_out_of_order", nic).Set(st.RxOutOfOrder)
 			reg.Counter("roce_acks_sent", nic).Set(st.AcksSent)
 			reg.Counter("roce_naks_sent", nic).Set(st.NaksSent)
+			reg.Counter("roce_nak_remote_access", nic).Set(st.NaksRemoteAccess)
 			reg.Counter("roce_acks_received", nic).Set(st.AcksReceived)
 			reg.Counter("roce_naks_received", nic).Set(st.NaksReceived)
 			reg.Counter("roce_retransmissions", nic).Set(st.Retransmissions)

@@ -152,11 +152,12 @@ func (s *Stack) ResetQP(qpn uint32) error {
 func (s *Stack) resetQP(qpn uint32, st *qpState) {
 	s.flushQP(qpn, st, fmt.Errorf("%w: %w", ErrQPError, errQPReset))
 	*st = qpState{
-		created:   true,
-		remote:    st.remote,
-		remoteQPN: st.remoteQPN,
-		recentRds: make(map[uint32]recentRead),
-		state:     QPStateReset,
+		created:    true,
+		remote:     st.remote,
+		remoteQPN:  st.remoteQPN,
+		remoteRKey: st.remoteRKey,
+		recentRds:  make(map[uint32]recentRead),
+		state:      QPStateReset,
 	}
 	s.stats.QPResets++
 	s.noteState(qpn, QPStateReset, nil)

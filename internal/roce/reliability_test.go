@@ -283,7 +283,7 @@ func TestGoBackNDropSchedule(t *testing.T) {
 			p := newPair(t, int64(20+ci), cfg, fabric.DirectCable10G())
 			p.link.SetFaultsAtoB(killNth(tc.killIdx, tc.corrupt))
 			data := make([]byte, n)
-			rand.New(rand.NewSource(int64(40+ci))).Read(data)
+			rand.New(rand.NewSource(int64(40 + ci))).Read(data)
 			completions := 0
 			var got error
 			p.eng.Schedule(0, func() {
@@ -341,8 +341,8 @@ func TestReadRecoveryDropSchedule(t *testing.T) {
 	n := cfg.MTUPayload * segs
 	cases := []struct {
 		name     string
-		killAtoB int // frame index on the request direction, -1 for none
-		killBtoA int // frame index on the response direction, -1 for none
+		killAtoB int    // frame index on the request direction, -1 for none
+		killBtoA int    // frame index on the response direction, -1 for none
 		dupHits  uint64 // duplicate-READ cache hits at the responder
 		dupsA    uint64 // stale response segments discarded at the requester
 		oooA     uint64 // post-gap response segments discarded at the requester
@@ -363,7 +363,7 @@ func TestReadRecoveryDropSchedule(t *testing.T) {
 				p.link.SetFaultsBtoA(killNth(tc.killBtoA, false))
 			}
 			src := make([]byte, n)
-			rand.New(rand.NewSource(int64(80+ci))).Read(src)
+			rand.New(rand.NewSource(int64(80 + ci))).Read(src)
 			copy(p.hb.buf[4096:], src)
 			var got []byte
 			completions := 0

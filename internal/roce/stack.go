@@ -33,27 +33,45 @@ type Handler interface {
 // of the chunk (e.g. when the local DMA write completed).
 type ReadSink func(offset int, chunk []byte, ack func())
 
+// AccessValidator is the optional memory-protection hook on the
+// responder path. When the stack's Handler also implements it (the core
+// NIC does, against its MR table), every RETH-bearing WRITE or READ
+// request is validated before any handler call: a non-nil error NAKs
+// the request with SynNAKRemoteAccess and the expected PSN does not
+// advance, so no memory is touched and a lost NAK is re-sent when the
+// requester retransmits. Duplicate READs served from the recent-read
+// cache are re-validated with their original rkey, so a region
+// deregistered or restamped since the first execution is not replayed.
+type AccessValidator interface {
+	// ValidateRemote vets op's access to [reth.VirtualAddress,
+	// +reth.DMALength) under reth.RKey. op is a WRITE first/only opcode
+	// or OpReadRequest; RPC opcodes are never validated here (their RETH
+	// address field carries the RPC op-code, not a VA).
+	ValidateRemote(qpn uint32, op packet.Opcode, reth packet.RETH) error
+}
+
 // Stats counts stack activity, exposed through the Controller's status
 // registers (§4.3).
 type Stats struct {
-	TxPackets         uint64
-	TxBytes           uint64 // encoded frame bytes handed to the fabric
-	RxPackets         uint64
-	RxBytes           uint64 // frame bytes delivered by the fabric
-	RxDiscarded       uint64 // undecodable (bad ICRC / checksum / opcode)
-	RxDuplicates      uint64
-	RxOutOfOrder      uint64
-	AcksSent          uint64
-	NaksSent          uint64
-	AcksReceived      uint64
-	NaksReceived      uint64
-	Retransmissions   uint64
-	Timeouts          uint64
-	DupReadCacheHits  uint64 // duplicate READs answered from the recent-read cache
-	DupReadCacheMiss  uint64 // duplicate READs outside the cache window (dropped)
-	QPErrors          uint64 // queue pairs moved to the ERROR state
-	QPResets          uint64 // queue pair resets (explicit or via restart)
-	DeadlineExpired   uint64 // verbs canceled by their deadline
+	TxPackets        uint64
+	TxBytes          uint64 // encoded frame bytes handed to the fabric
+	RxPackets        uint64
+	RxBytes          uint64 // frame bytes delivered by the fabric
+	RxDiscarded      uint64 // undecodable (bad ICRC / checksum / opcode)
+	RxDuplicates     uint64
+	RxOutOfOrder     uint64
+	AcksSent         uint64
+	NaksSent         uint64
+	AcksReceived     uint64
+	NaksReceived     uint64
+	Retransmissions  uint64
+	Timeouts         uint64
+	DupReadCacheHits uint64 // duplicate READs answered from the recent-read cache
+	DupReadCacheMiss uint64 // duplicate READs outside the cache window (dropped)
+	QPErrors         uint64 // queue pairs moved to the ERROR state
+	QPResets         uint64 // queue pair resets (explicit or via restart)
+	DeadlineExpired  uint64 // verbs canceled by their deadline
+	NaksRemoteAccess uint64 // SynNAKRemoteAccess sent (memory protection violations)
 }
 
 // Request failure modes.
@@ -61,6 +79,12 @@ var (
 	ErrRetryExceeded = errors.New("roce: transport retry count exceeded")
 	ErrRemoteInvalid = errors.New("roce: remote NAK (invalid request)")
 	ErrTooManyReads  = errors.New("roce: too many outstanding reads")
+	// ErrRemoteAccess reports a SynNAKRemoteAccess from the responder: the
+	// request failed memory protection (bad/stale rkey, bounds, permission
+	// or an unregistered VA). Like the IB remote-access error class it is
+	// transport-fatal — the QP moves to ERROR (wrapped in ErrQPError) and
+	// must be reset and reconnected, typically re-fetching the rkey.
+	ErrRemoteAccess = errors.New("roce: remote NAK (memory protection violation)")
 )
 
 // Stack is one StRoM RoCE v2 protocol engine.
@@ -69,6 +93,7 @@ type Stack struct {
 	cfg      Config
 	id       Identity
 	handler  Handler
+	valid    AccessValidator // non-nil when the handler implements it
 	transmit func(frame []byte)
 	tracer   *sim.Tracer
 
@@ -99,11 +124,13 @@ type Stack struct {
 // NewStack builds a stack. transmit pushes encoded frames into the
 // fabric; handler receives responder-side operations.
 func NewStack(eng *sim.Engine, cfg Config, id Identity, handler Handler, transmit func([]byte), tracer *sim.Tracer) *Stack {
+	valid, _ := handler.(AccessValidator)
 	return &Stack{
 		eng:      eng,
 		cfg:      cfg,
 		id:       id,
 		handler:  handler,
+		valid:    valid,
 		transmit: transmit,
 		tracer:   tracer,
 		st:       newStateTable(cfg.NumQPs),
@@ -252,6 +279,11 @@ func (s *Stack) postSegmented(qpn uint32, kind packet.MessageKind, reth packet.R
 	if err := s.sendable(st); err != nil {
 		return err
 	}
+	if kind == packet.KindWrite && reth.RKey == 0 {
+		// Default to the QP's exchanged remote key; RPC writes carry the
+		// RPC op-code in the RETH address field and never use keys.
+		reth.RKey = st.remoteRKey
+	}
 	opID := s.newOp(st)
 	pkts, err := packet.Segment(kind, st.remoteQPN, st.nextPSN, reth, data, s.cfg.MTUPayload)
 	if err != nil {
@@ -321,6 +353,46 @@ func (s *Stack) PostRead(qpn uint32, remoteVA uint64, n int, sink ReadSink, done
 // PostReadDeadline is PostRead with an absolute sim-time deadline (zero
 // means none; see PostWriteDeadline).
 func (s *Stack) PostReadDeadline(qpn uint32, remoteVA uint64, n int, deadline sim.Time, sink ReadSink, done func(error)) error {
+	return s.postRead(qpn, packet.RETH{VirtualAddress: remoteVA, DMALength: uint32(n)}, deadline, sink, done)
+}
+
+// PostWriteKeyDeadline is PostWriteDeadline with an explicit rkey in the
+// RETH. RKey 0 falls back to the QP's exchanged key (SetRemoteRKey), which
+// is itself 0 — the wildcard key — unless one was exchanged.
+func (s *Stack) PostWriteKeyDeadline(qpn uint32, remoteVA uint64, rkey uint32, data []byte, deadline sim.Time, done func(error)) error {
+	return s.postSegmented(qpn, packet.KindWrite, packet.RETH{VirtualAddress: remoteVA, RKey: rkey, DMALength: uint32(len(data))}, data, deadline, done)
+}
+
+// PostReadKeyDeadline is PostReadDeadline with an explicit rkey (see
+// PostWriteKeyDeadline for the RKey-0 fallback).
+func (s *Stack) PostReadKeyDeadline(qpn uint32, remoteVA uint64, rkey uint32, n int, deadline sim.Time, sink ReadSink, done func(error)) error {
+	return s.postRead(qpn, packet.RETH{VirtualAddress: remoteVA, RKey: rkey, DMALength: uint32(n)}, deadline, sink, done)
+}
+
+// SetRemoteRKey installs the default rkey stamped on this QP's posted
+// writes and reads when the caller passes RKey 0. It models the rkey
+// exchange step of connection setup and survives QP resets (the key
+// belongs to the peer's memory, not to this QP's reliability state).
+func (s *Stack) SetRemoteRKey(qpn, rkey uint32) error {
+	st, err := s.st.get(qpn)
+	if err != nil {
+		return err
+	}
+	st.remoteRKey = rkey
+	return nil
+}
+
+// RemoteRKey returns the default rkey installed by SetRemoteRKey (0 when
+// none was exchanged).
+func (s *Stack) RemoteRKey(qpn uint32) uint32 {
+	st, err := s.st.get(qpn)
+	if err != nil {
+		return 0
+	}
+	return st.remoteRKey
+}
+
+func (s *Stack) postRead(qpn uint32, reth packet.RETH, deadline sim.Time, sink ReadSink, done func(error)) error {
 	st, err := s.st.get(qpn)
 	if err != nil {
 		return err
@@ -328,6 +400,10 @@ func (s *Stack) PostReadDeadline(qpn uint32, remoteVA uint64, n int, deadline si
 	if err := s.sendable(st); err != nil {
 		return err
 	}
+	if reth.RKey == 0 {
+		reth.RKey = st.remoteRKey
+	}
+	n := int(reth.DMALength)
 	opID := s.newOp(st)
 	npsn := uint32(packet.NumSegments(n, s.cfg.MTUPayload))
 	msg := &outMessage{isRead: true, complete: done}
@@ -344,7 +420,7 @@ func (s *Stack) PostReadDeadline(qpn uint32, remoteVA uint64, n int, deadline si
 	}
 	s.instrumentMsg(qpn, opID, "READ", msg)
 	s.armDeadline(msg, deadline)
-	pkt := packet.ReadRequest(st.remoteQPN, st.nextPSN, packet.RETH{VirtualAddress: remoteVA, DMALength: uint32(n)})
+	pkt := packet.ReadRequest(st.remoteQPN, st.nextPSN, reth)
 	if s.obs != nil {
 		s.obs.TxRequest(qpn, pkt.BTH.PSN, npsn, pkt.BTH.Opcode, false)
 	}
@@ -433,6 +509,16 @@ func (s *Stack) handleRequest(qpn uint32, st *qpState, pkt *packet.Packet) {
 			// distance alone.
 			if rr, ok := st.recentRds[pkt.BTH.PSN]; ok && -d <= int32(8*s.cfg.ReadDepthPerQP) {
 				s.stats.DupReadCacheHits++
+				// Re-validate with the original rkey: the region may have
+				// been deregistered or restamped since the first execution,
+				// and a cached duplicate must not outlive its protection.
+				if s.valid != nil {
+					reth := packet.RETH{VirtualAddress: rr.va, RKey: rr.rkey, DMALength: uint32(rr.n)}
+					if err := s.valid.ValidateRemote(qpn, packet.OpReadRequest, reth); err != nil {
+						s.nakRemoteAccess(st, pkt.BTH.PSN)
+						return
+					}
+				}
 				if s.obs != nil {
 					s.obs.RespExec(qpn, pkt.BTH.PSN, 0, pkt.BTH.Opcode, true)
 				}
@@ -446,9 +532,19 @@ func (s *Stack) handleRequest(qpn uint32, st *qpState, pkt *packet.Packet) {
 		s.stats.AcksSent++
 		return
 	}
-	// Valid: execute and advance the expected PSN.
-	st.nakSent = false
+	// Valid: validate memory protection, then execute and advance the
+	// expected PSN. A protection violation NAKs without advancing ePSN or
+	// touching the handler, so no DMA is issued and a retransmit of the
+	// same request (after a lost NAK) lands back here and is re-NAKed.
 	op := pkt.BTH.Opcode
+	if s.valid != nil && pkt.RETH != nil && (op.IsWrite() || op == packet.OpReadRequest) {
+		if err := s.valid.ValidateRemote(qpn, op, *pkt.RETH); err != nil {
+			s.tracer.Logf("roce[%v]: remote access rejected qp=%d psn=%d: %v", s.id.IP, qpn, pkt.BTH.PSN, err)
+			s.nakRemoteAccess(st, pkt.BTH.PSN)
+			return
+		}
+	}
+	st.nakSent = false
 	if s.obs != nil {
 		npsn := uint32(1)
 		if op == packet.OpReadRequest {
@@ -466,7 +562,7 @@ func (s *Stack) handleRequest(qpn uint32, st *qpState, pkt *packet.Packet) {
 	case op == packet.OpReadRequest:
 		n := int(pkt.RETH.DMALength)
 		npsn := uint32(packet.NumSegments(n, s.cfg.MTUPayload))
-		rr := recentRead{va: pkt.RETH.VirtualAddress, n: n, resp: pkt.BTH.PSN}
+		rr := recentRead{va: pkt.RETH.VirtualAddress, n: n, resp: pkt.BTH.PSN, rkey: pkt.RETH.RKey}
 		st.recentRds[pkt.BTH.PSN] = rr
 		if len(st.recentRds) > 16*s.cfg.ReadDepthPerQP {
 			// Bounded cache, like the on-chip structure it models. Stale
@@ -482,6 +578,16 @@ func (s *Stack) handleRequest(qpn uint32, st *qpState, pkt *packet.Packet) {
 		st.msn = (st.msn + 1) & psnMask
 		s.executeRead(qpn, st, rr.va, n, rr.resp, false)
 	}
+}
+
+// nakRemoteAccess rejects a request that failed memory protection. The
+// expected PSN is deliberately left alone: go-back-N will retransmit
+// from the rejected request, and each retransmission is re-NAKed until
+// the requester's QP lands in ERROR.
+func (s *Stack) nakRemoteAccess(st *qpState, psn uint32) {
+	s.stats.NaksSent++
+	s.stats.NaksRemoteAccess++
+	s.sendTransient(st, packet.Ack(st.remoteQPN, psn, packet.SynNAKRemoteAccess, st.msn))
 }
 
 func (s *Stack) execWrite(qpn uint32, st *qpState, pkt *packet.Packet) {
@@ -585,6 +691,13 @@ func (s *Stack) handleAck(qpn uint32, st *qpState, pkt *packet.Packet) {
 	case packet.SynNAKInvalid:
 		s.stats.NaksReceived++
 		s.failPSN(qpn, st, pkt.BTH.PSN)
+	case packet.SynNAKRemoteAccess:
+		// A memory-protection NAK is transport-fatal on the requester, per
+		// the IB remote-access error class: the QP moves to ERROR, flushing
+		// every outstanding verb with ErrQPError wrapping ErrRemoteAccess.
+		// The application resets/reconnects and re-fetches the rkey.
+		s.stats.NaksReceived++
+		s.moveToError(qpn, st, ErrRemoteAccess)
 	}
 }
 

@@ -52,10 +52,11 @@ type qpState struct {
 	recentRds map[uint32]recentRead // PSN -> read request, for duplicate re-execution
 
 	// Requester state.
-	nextPSN  uint32
-	pending  []*pendingPacket // sent, not yet acknowledged (FIFO by PSN)
-	retries  int
-	progress uint64 // bumped on any QP activity; defers the retransmission timer
+	nextPSN    uint32
+	pending    []*pendingPacket // sent, not yet acknowledged (FIFO by PSN)
+	retries    int
+	progress   uint64 // bumped on any QP activity; defers the retransmission timer
+	remoteRKey uint32 // default rkey stamped on posts that pass RKey 0
 }
 
 // recentRead remembers an executed read request so a duplicate (retried)
@@ -63,6 +64,7 @@ type qpState struct {
 type recentRead struct {
 	va   uint64
 	n    int
+	rkey uint32 // original request key, revalidated before duplicate serving
 	resp uint32 // first response PSN (== request PSN)
 }
 

@@ -108,37 +108,72 @@ func (p *Pair) StartProbes(tel *Telemetry, every sim.Duration) {
 
 // ApplyChaos wires a chaos plan into the testbed — frame faults on the
 // link, DMA stall windows on both machines — and attaches a protocol
-// invariant checker to each stack. Call the checkers' Finish after the
-// run to collect violations.
+// invariant checker to each stack. Each NIC's DMA-issue observer is
+// pointed at the peer checker's DMAGuard, so invariant 9 (no DMA outside
+// a registered region with the right permission) is asserted on every
+// command either NIC issues. Call the checkers' Finish after the run to
+// collect violations.
 func (p *Pair) ApplyChaos(plan chaos.Plan) (*chaos.Injector, *chaos.Checker, *chaos.Checker) {
 	inj := chaos.New(p.Eng, plan)
 	inj.Apply(p.Link, p.A.DMA(), p.B.DMA())
 	ca := chaos.AttachChecker(p.A.Stack(), "A", p.Eng)
 	cb := chaos.AttachChecker(p.B.Stack(), "B", p.Eng)
+	p.A.SetDMAObserver(ca.DMAGuard(p.A.MRTable()))
+	p.B.SetDMAObserver(cb.DMAGuard(p.B.MRTable()))
 	return inj, ca, cb
+}
+
+// ExchangeRKeys performs the application-level rkey exchange: each side
+// learns the current rkey of the peer's registered buffer, so subsequent
+// posts carry real keys instead of the wildcard key 0. Call again after
+// any Restart (the restarted NIC rotates its keys) and pass the QPs the
+// keys should be installed on (defaulting both is Reconnect's QPA/QPB).
+func (p *Pair) ExchangeRKeys(qpa, qpb uint32) error {
+	rb := p.B.RegionFor(uint64(p.BufB.Base()))
+	ra := p.A.RegionFor(uint64(p.BufA.Base()))
+	if ra == nil || rb == nil {
+		return fmt.Errorf("testrig: buffers not registered")
+	}
+	if err := p.A.SetRemoteRKey(qpa, rb.RKey()); err != nil {
+		return err
+	}
+	return p.B.SetRemoteRKey(qpb, ra.RKey())
+}
+
+// AddQueuePair connects an extra QP pair (qpa on A ↔ qpb on B) beside the
+// default QPA/QPB — e.g. a rogue requester's channel.
+func (p *Pair) AddQueuePair(qpa, qpb uint32) error {
+	if err := p.A.CreateQP(qpa, p.B.Identity(), qpb); err != nil {
+		return err
+	}
+	return p.B.CreateQP(qpb, p.A.Identity(), qpa)
 }
 
 // Reconnect re-establishes the testbed queue pair after a failure: both
 // ends are reset (flushing anything still outstanding) and reconnected
 // with fresh PSNs. It fails with roce.ErrPeerCrashed while either machine
 // is down — callers retry under backoff until the peer restarts.
-func (p *Pair) Reconnect() error {
+func (p *Pair) Reconnect() error { return p.ReconnectPair(QPA, QPB) }
+
+// ReconnectPair is Reconnect for an arbitrary QP pair created with
+// AddQueuePair.
+func (p *Pair) ReconnectPair(qpa, qpb uint32) error {
 	if p.A.Crashed() {
 		return fmt.Errorf("%w: A is down", roce.ErrPeerCrashed)
 	}
 	if p.B.Crashed() {
 		return fmt.Errorf("%w: B is down", roce.ErrPeerCrashed)
 	}
-	if err := p.B.Stack().ResetQP(QPB); err != nil {
+	if err := p.B.Stack().ResetQP(qpb); err != nil {
 		return err
 	}
-	if err := p.A.Stack().ResetQP(QPA); err != nil {
+	if err := p.A.Stack().ResetQP(qpa); err != nil {
 		return err
 	}
-	if err := p.B.Stack().ReconnectQP(QPB); err != nil {
+	if err := p.B.Stack().ReconnectQP(qpb); err != nil {
 		return err
 	}
-	return p.A.Stack().ReconnectQP(QPA)
+	return p.A.Stack().ReconnectQP(qpa)
 }
 
 // New10G is the common case: the 10 G testbed with 32 MB buffers.

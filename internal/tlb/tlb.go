@@ -22,6 +22,7 @@ var (
 	ErrFull      = errors.New("tlb: capacity exceeded")
 	ErrMiss      = errors.New("tlb: miss (page not populated)")
 	ErrBadLength = errors.New("tlb: bad length")
+	ErrWrap      = errors.New("tlb: address range wraps the 64-bit space")
 )
 
 // TLB is the on-NIC address translation table.
@@ -76,11 +77,17 @@ type Segment struct {
 }
 
 // Split translates the command [va, va+n) into physically contiguous
-// segments, none crossing a 2 MB page boundary (§4.2). It returns an
-// error if any page in the range is unpopulated.
+// segments, none crossing a 2 MB page boundary (§4.2). It returns a
+// typed error for empty or negative lengths (ErrBadLength), for ranges
+// whose VA+length wraps the 64-bit address space (ErrWrap — previously
+// the per-page walk would silently march through the wrap), and for any
+// unpopulated page in the range (ErrMiss).
 func (t *TLB) Split(va hostmem.Addr, n int) ([]Segment, error) {
 	if n <= 0 {
-		return nil, ErrBadLength
+		return nil, fmt.Errorf("%w: %d", ErrBadLength, n)
+	}
+	if uint64(va)+uint64(n) < uint64(va) {
+		return nil, fmt.Errorf("%w: VA %#x + %d", ErrWrap, uint64(va), n)
 	}
 	var segs []Segment
 	for n > 0 {

@@ -1,6 +1,8 @@
 package tlb
 
 import (
+	"errors"
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -136,11 +138,62 @@ func TestSplitAcrossPages(t *testing.T) {
 
 func TestSplitErrors(t *testing.T) {
 	tl, _, buf := populated(t, 1)
-	if _, err := tl.Split(buf.Base(), 0); err != ErrBadLength {
+	if _, err := tl.Split(buf.Base(), 0); !errors.Is(err, ErrBadLength) {
 		t.Errorf("err = %v", err)
 	}
-	if _, err := tl.Split(buf.Base(), page+1); err == nil {
-		t.Error("split past mapping succeeded")
+	if _, err := tl.Split(buf.Base(), -1); !errors.Is(err, ErrBadLength) {
+		t.Errorf("negative length: err = %v", err)
+	}
+	if _, err := tl.Split(buf.Base(), page+1); !errors.Is(err, ErrMiss) {
+		t.Errorf("split past mapping: err = %v", err)
+	}
+}
+
+// TestSplitRegionEdges pins the boundary arithmetic: a command ending
+// exactly at the last mapped byte succeeds, one byte further misses.
+func TestSplitRegionEdges(t *testing.T) {
+	tl, _, buf := populated(t, 2)
+	end := buf.Base() + hostmem.Addr(2*page)
+	segs, err := tl.Split(end-64, 64)
+	if err != nil {
+		t.Fatalf("split ending at region edge: %v", err)
+	}
+	total := 0
+	for _, s := range segs {
+		total += s.Len
+	}
+	if total != 64 {
+		t.Fatalf("edge split covered %d bytes, want 64", total)
+	}
+	if _, err := tl.Split(end-63, 64); !errors.Is(err, ErrMiss) {
+		t.Fatalf("split crossing region edge: err = %v, want ErrMiss", err)
+	}
+	if _, err := tl.Split(end, 1); !errors.Is(err, ErrMiss) {
+		t.Fatalf("split starting past region: err = %v, want ErrMiss", err)
+	}
+}
+
+// TestSplitWrapBoundary pins the VA+length uint64-wrap check: before the
+// fix the per-page walk marched through the wrap and could succeed
+// against whatever pages were mapped near address zero.
+func TestSplitWrapBoundary(t *testing.T) {
+	tl := New(0)
+	// Map the top-most huge page so the walk would have pages to find.
+	top := hostmem.Addr(math.MaxUint64) &^ hostmem.Addr(page-1)
+	if err := tl.Populate(top, hostmem.Addr(page)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tl.Split(hostmem.Addr(math.MaxUint64-8), 64); !errors.Is(err, ErrWrap) {
+		t.Fatalf("wrapping split: err = %v, want ErrWrap", err)
+	}
+	// The degenerate wrap where VA+n == 0 exactly must be caught too.
+	if _, err := tl.Split(hostmem.Addr(math.MaxUint64-63), 64); !errors.Is(err, ErrWrap) {
+		t.Fatalf("wrap-to-zero split: err = %v, want ErrWrap", err)
+	}
+	// A command ending exactly at the top of the address space does not
+	// wrap and must pass the wrap check (it fails later only if unmapped).
+	if _, err := tl.Split(hostmem.Addr(math.MaxUint64-64), 64); errors.Is(err, ErrWrap) {
+		t.Fatal("non-wrapping split at top of address space rejected as wrap")
 	}
 }
 

@@ -27,6 +27,10 @@ import (
 //   - ErrRemoteInvalid — the responder NAKed the request. For RPCs this
 //     is per-operation (no kernel matched; the QP stays usable); for
 //     READs it is fatal and also wrapped in ErrQPError.
+//   - ErrRemoteAccess — the responder's memory protection NAKed the
+//     request (bad/stale rkey, bounds, permission, unregistered VA; see
+//     protect.go). Transport-fatal and wrapped in ErrQPError; reconnect
+//     and re-fetch the peer's rkey.
 //   - ErrDeadlineExceeded — a *Deadline verb variant or poll expired.
 //     The QP is still healthy: the operation was abandoned by the caller,
 //     not failed by the transport.
