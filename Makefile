@@ -1,7 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test race cover recovery protect fuzz bench
+.PHONY: check vet build test race cover recovery protect determinism fuzz bench bench-diff
 
+# check is the everyday gate: build plus the full -race suite, which
+# includes the sharded determinism tests (TestSharded* in
+# internal/experiments and the ShardGroup suite in internal/sim) under
+# the race detector.
 check: build test
 
 vet:
@@ -35,20 +39,44 @@ protect:
 	$(GO) test -race ./internal/mr
 	$(GO) test -race -run 'MR|NAKMatrix|RKey|RemoteKey|Protect|Rogue|Invariant9|Sandbox|Revalidat|Fault' ./internal/roce ./internal/core ./internal/kernels/traversal ./internal/experiments .
 
+# determinism runs the sharded-engine determinism suite on its own under
+# the race detector: worker-count invariance of every figure generator,
+# the telemetry/trace exports, the chaos schedule digest, and the
+# ShardGroup window/barrier machinery.
+determinism:
+	$(GO) test -race -count=1 -run 'Shard|Deterministic' ./internal/sim ./internal/testrig ./internal/experiments
+
 # fuzz smoke-runs the checked-in fuzzers for 10s each on top of their
 # seed corpora (packet header round-trip, CRC slicing equivalence, QP
 # state-machine exactly-once under random fault interleavings, RETH
-# validation never-false-accept).
+# validation never-false-accept, shard window scheduling never reorders
+# same-timestamp cross-shard events).
 fuzz:
 	$(GO) test ./internal/packet -fuzz=FuzzHeaderRoundTrip -fuzztime=10s
 	$(GO) test ./internal/crc -fuzz=FuzzCRCSlicingEquivalence -fuzztime=10s
 	$(GO) test ./internal/roce -fuzz=FuzzQPStateMachine -fuzztime=10s
 	$(GO) test ./internal/roce -fuzz=FuzzRETHValidation -fuzztime=10s
+	$(GO) test ./internal/sim -fuzz=FuzzShardSchedule -fuzztime=10s
 
-# bench runs the microbenchmarks (root macro benches plus the scheduler
-# and telemetry hot paths) and then the quick experiment suite with the
-# instrumented scenario, leaving its metrics export in BENCH_quick.json.
+# bench runs the microbenchmarks (macro benches plus the scheduler,
+# telemetry, packet and roce hot paths), then records bench snapshots:
+# BENCH_quick.json (quick suite — the bench-diff gate) and
+# BENCH_pr6.json (default suite — the committed per-PR trajectory),
+# both sharded. Snapshot wall times are host dependent; figure values
+# are deterministic.
+BENCHNOTE = figure values are deterministic at seed 1; wall_ms series depend on the host (see gomaxprocs/num_cpu) -- a single-core host serializes the shard workers, so sharded wall time there measures barrier overhead, not speedup
 bench:
-	$(GO) test -bench=. -benchmem . ./internal/sim ./internal/telemetry
-	$(GO) run ./cmd/strombench -quick -metrics BENCH_quick.json > /dev/null
+	$(GO) test -bench=. -benchmem . ./internal/sim ./internal/telemetry ./internal/packet ./internal/roce
+	$(GO) run ./cmd/strombench -quick -shards 4 -bench BENCH_quick.json -benchnote "$(BENCHNOTE)" > /dev/null
+	$(GO) run ./cmd/strombench -shards 4 -bench BENCH_pr6.json -benchnote "$(BENCHNOTE)" > /dev/null
 	$(GO) run ./cmd/strombench -quick -chaos chaos-recovery > /dev/null
+
+# bench-diff reruns the quick suite and gates against the committed
+# snapshot: non-zero exit when a deterministic figure value drifted by
+# more than 10%, a series vanished, or the whole-suite wall total grew
+# by more than 50%. Per-experiment wall times are recorded but not
+# gated — on a shared host they spike too much to fail CI on; the
+# deterministic values are the tight gate.
+bench-diff:
+	$(GO) run ./cmd/strombench -quick -shards 4 -bench BENCH_head.json > /dev/null
+	$(GO) run ./cmd/stromres diff BENCH_quick.json BENCH_head.json

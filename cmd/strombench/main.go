@@ -4,8 +4,9 @@
 // Usage:
 //
 //	strombench -list
-//	strombench [-quick|-full] [-chaos] [-seed N] [-j N] [-csv DIR]
-//	           [-metrics FILE] [-trace FILE] [exp ...]
+//	strombench [-quick|-full] [-chaos] [-seed N] [-j N] [-shards N]
+//	           [-csv DIR] [-metrics FILE] [-trace FILE] [-bench FILE]
+//	           [-cpuprofile FILE] [-memprofile FILE] [exp ...]
 //
 // With no experiment names, everything runs in paper order followed by
 // the ablations. Experiment names are table1, table2, table3, resources,
@@ -30,6 +31,17 @@
 // and Perfetto-compatible trace as JSON. The scenario runs on its own
 // engine seeded from -seed, so both files are byte-identical at every
 // -j value; load the trace file in ui.perfetto.dev or chrome://tracing.
+//
+// -shards N runs each testbed sharded: the two machines on separate
+// event-engine shards executed by up to N worker goroutines under
+// conservative lookahead. Output is byte-identical for every N >= 1 (the
+// worker count never affects simulation results); 0 keeps the historical
+// single-engine testbed.
+//
+// -bench FILE writes a bench snapshot — per-experiment wall clock plus
+// every figure value — for the committed BENCH_*.json trajectory; use
+// `stromres diff OLD NEW` to gate on it. -cpuprofile/-memprofile write
+// pprof profiles of the whole run.
 package main
 
 import (
@@ -38,8 +50,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 	"time"
 
+	"strom/internal/benchsnap"
 	"strom/internal/experiments"
 )
 
@@ -49,11 +65,56 @@ func main() {
 	chaosSuite := flag.Bool("chaos", false, "run the fault-injection suite; -metrics/-trace export the chaos scenario")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	jobs := flag.Int("j", experiments.DefaultParallelism(), "experiment generators to run in parallel")
+	shards := flag.Int("shards", 0, "sharded testbed worker count (0 = single engine; output is byte-identical for every value >= 1)")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	csvDir := flag.String("csv", "", "also write each figure as CSV into this directory")
 	metricsOut := flag.String("metrics", "", "write instrumented-scenario metrics JSON to this file")
 	traceOut := flag.String("trace", "", "write instrumented-scenario Perfetto trace JSON to this file")
+	benchOut := flag.String("bench", "", "write a bench snapshot (wall clock + figure values) JSON to this file")
+	benchLabel := flag.String("benchlabel", "", "label stored in the -bench snapshot (default: snapshot file base name)")
+	benchNote := flag.String("benchnote", "", "free-form note stored in the -bench snapshot")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	flag.Parse()
+
+	// Registered first so it runs last: the profile writers below must
+	// flush before the process exits on a failure.
+	exitCode := 0
+	defer func() {
+		if exitCode != 0 {
+			os.Exit(exitCode)
+		}
+	}()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "strombench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "strombench:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "strombench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "strombench:", err)
+			}
+		}()
+	}
 
 	if *list {
 		fmt.Println("table1 table2 table3 resources")
@@ -71,6 +132,7 @@ func main() {
 		opts.ShuffleScale = 1
 	}
 	opts.Seed = *seed
+	opts.Shards = *shards
 
 	names := flag.Args()
 	preamble := false
@@ -87,14 +149,53 @@ func main() {
 		}
 	}
 
-	if err := run(names, opts, *jobs, *csvDir, preamble); err != nil {
+	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "strombench:", err)
-		os.Exit(1)
+		exitCode = 1
+	}
+	results, err := run(names, opts, *jobs, *csvDir, preamble)
+	if err != nil {
+		fail(err)
+		return
 	}
 	if err := writeTelemetry(opts, *chaosSuite, *metricsOut, *traceOut); err != nil {
-		fmt.Fprintln(os.Stderr, "strombench:", err)
-		os.Exit(1)
+		fail(err)
+		return
 	}
+	if *benchOut != "" {
+		if err := writeBenchSnapshot(*benchOut, *benchLabel, *benchNote, opts, results); err != nil {
+			fail(err)
+			return
+		}
+	}
+}
+
+// writeBenchSnapshot records the run as a bench snapshot: per-generator
+// wall clock plus every figure value (deterministic at a given seed).
+func writeBenchSnapshot(path, label, note string, opts experiments.Options, results []experiments.Result) error {
+	if label == "" {
+		label = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	}
+	snap := benchsnap.New(label)
+	snap.Note = note
+	snap.Command = strings.Join(os.Args[1:], " ")
+	snap.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	snap.NumCPU = runtime.NumCPU()
+	snap.Shards = opts.Shards
+	snap.Seed = opts.Seed
+	var totalMS float64
+	for _, r := range results {
+		ms := float64(r.Elapsed.Microseconds()) / 1000
+		snap.Put("wall_ms/"+r.Name, ms)
+		totalMS += ms
+		for _, s := range r.Fig.Series {
+			for _, p := range s.Points {
+				snap.Put(fmt.Sprintf("value/%s/%s/%s", r.Name, s.Name, p.XLabel), p.Y)
+			}
+		}
+	}
+	snap.Put("wall_ms/_total", totalMS)
+	return benchsnap.Write(path, snap)
 }
 
 // allGenerators lists every runnable generator: the paper figures, the
@@ -146,9 +247,9 @@ func writeTelemetry(opts experiments.Options, chaosSuite bool, metricsPath, trac
 }
 
 // run resolves names into tables (rendered inline) and generators
-// (executed on the worker pool), then prints everything in request
-// order.
-func run(names []string, opts experiments.Options, jobs int, csvDir string, preamble bool) error {
+// (executed on the worker pool), prints everything in request order and
+// returns the generator results (for the -bench snapshot).
+func run(names []string, opts experiments.Options, jobs int, csvDir string, preamble bool) ([]experiments.Result, error) {
 	byName := make(map[string]experiments.Generator)
 	for _, g := range allGenerators() {
 		byName[g.Name] = g
@@ -167,15 +268,16 @@ func run(names []string, opts experiments.Options, jobs int, csvDir string, prea
 		}
 		g, ok := byName[name]
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (try -list)", name)
+			return nil, fmt.Errorf("unknown experiment %q (try -list)", name)
 		}
 		gens = append(gens, g)
 	}
 
-	results := make(map[string]experiments.Result, len(gens))
-	for _, r := range experiments.RunGenerators(gens, opts, jobs) {
+	all := experiments.RunGenerators(gens, opts, jobs)
+	results := make(map[string]experiments.Result, len(all))
+	for _, r := range all {
 		if r.Err != nil {
-			return fmt.Errorf("%s: %w", r.Name, r.Err)
+			return nil, fmt.Errorf("%s: %w", r.Name, r.Err)
 		}
 		results[r.Name] = r
 	}
@@ -196,9 +298,9 @@ func run(names []string, opts experiments.Options, jobs int, csvDir string, prea
 		if csvDir != "" {
 			path := filepath.Join(csvDir, name+".csv")
 			if err := os.WriteFile(path, []byte(r.Fig.CSV()), 0o644); err != nil {
-				return fmt.Errorf("%s: writing CSV: %w", name, err)
+				return nil, fmt.Errorf("%s: writing CSV: %w", name, err)
 			}
 		}
 	}
-	return nil
+	return all, nil
 }

@@ -1,14 +1,69 @@
 // Command stromres prints the FPGA resource report: the paper's Table 3,
 // the §6.1 queue-pair scaling on the Virtex-7, the per-module breakdown,
 // and the footprints of the bundled StRoM kernels.
+//
+// It also compares bench snapshots (the committed BENCH_*.json
+// performance trajectory, written by strombench -bench):
+//
+//	stromres diff [-tol 0.10] [-walltol 0.50] OLD.json NEW.json
+//
+// exits non-zero when any tracked series regressed: figure-value series
+// (value/...) that drifted in either direction beyond -tol — figure
+// values are deterministic at a fixed seed, so drift is a behavior
+// change, not noise — the whole-suite wall-clock total grown beyond the
+// looser -walltol (per-experiment wall times are informational: on a
+// shared host they spike too much to gate on), or series that vanished
+// from the new snapshot.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 
+	"strom/internal/benchsnap"
 	"strom/internal/experiments"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		os.Exit(diff(os.Args[2:]))
+	}
 	fmt.Println(experiments.ResourceReport())
+}
+
+func diff(args []string) int {
+	fs := flag.NewFlagSet("stromres diff", flag.ExitOnError)
+	tol := fs.Float64("tol", 0.10, "relative tolerance for deterministic value/ series")
+	wallTol := fs.Float64("walltol", 0.50, "relative growth tolerance for measured wall_ms/ series")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: stromres diff [-tol 0.10] [-walltol 0.50] OLD.json NEW.json")
+		return 2
+	}
+	old, err := benchsnap.Read(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stromres:", err)
+		return 2
+	}
+	cur, err := benchsnap.Read(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stromres:", err)
+		return 2
+	}
+	regs, missing := benchsnap.Diff(old, cur, *tol, *wallTol)
+	fmt.Printf("comparing %s (%s) -> %s (%s): %d tracked series, value tolerance %g%%, wall tolerance %g%%\n",
+		fs.Arg(0), old.Label, fs.Arg(1), cur.Label, len(old.Series), *tol*100, *wallTol*100)
+	for _, m := range missing {
+		fmt.Printf("MISSING  %s\n", m)
+	}
+	for _, r := range regs {
+		fmt.Printf("REGRESSED  %v\n", r)
+	}
+	if len(regs) > 0 || len(missing) > 0 {
+		fmt.Printf("FAIL: %d regressed, %d missing\n", len(regs), len(missing))
+		return 1
+	}
+	fmt.Println("OK: no regressions")
+	return 0
 }

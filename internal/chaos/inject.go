@@ -3,6 +3,7 @@ package chaos
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"strom/internal/crc"
 	"strom/internal/fabric"
@@ -93,70 +94,97 @@ func (c *windowCursor) active(now sim.Time) (Window, bool) {
 	return Window{}, false
 }
 
-// dirState is the per-direction injector state (the GE chain position).
-type dirState struct {
-	where string
-	f     LinkFaults
-	bad   bool // Gilbert–Elliott chain in the bad state
-}
-
-// Injector drives a Plan against the testbed. All decisions come from the
-// engine's RNG and the engine clock, so the injected fault schedule is a
-// deterministic function of (plan, seed) — ScheduleDigest pins it.
-type Injector struct {
-	eng  *sim.Engine
-	plan Plan
-
-	ab, ba dirState
-	flaps  windowCursor
-	stallA windowCursor
-	stallB windowCursor
-
+// site is one injection point (a link direction or a DMA engine) with
+// its own engine reference, record log, stats, and digest. Each site is
+// owned by exactly one engine — on a sharded testbed the A→B direction
+// and machine A's DMA judge on shard A's engine and RNG while B's sites
+// judge on shard B's — so a site never shares mutable state across
+// shard goroutines. The injector's external views (Stats, Records,
+// ScheduleDigest) combine the sites in the fixed order a-to-b, b-to-a,
+// dma-a, dma-b, which is identical however the sites are spread over
+// shards.
+type site struct {
+	eng    *sim.Engine
+	where  string
+	limit  int
 	st     Stats
 	log    []Record
 	digest *crc.Digest64
 }
 
-// New builds an injector for the plan on the engine's clock and RNG.
-func New(eng *sim.Engine, plan Plan) *Injector {
-	plan = plan.normalized()
-	return &Injector{
-		eng:    eng,
-		plan:   plan,
-		ab:     dirState{where: "a-to-b", f: plan.AtoB},
-		ba:     dirState{where: "b-to-a", f: plan.BtoA},
-		flaps:  windowCursor{ws: plan.Flaps},
-		stallA: windowCursor{ws: plan.StallsA},
-		stallB: windowCursor{ws: plan.StallsB},
-		digest: crc.NewDigest64(),
-	}
+func newSite(eng *sim.Engine, where string, limit int) *site {
+	return &site{eng: eng, where: where, limit: limit, digest: crc.NewDigest64()}
 }
 
-// record logs a fault (bounded) and folds it into the schedule digest
-// (unbounded).
-func (j *Injector) record(r Record) {
-	if len(j.log) < j.plan.LogLimit {
-		j.log = append(j.log, r)
+// record logs a fault (bounded) and folds it into the site's schedule
+// digest (unbounded).
+func (s *site) record(r Record) {
+	if len(s.log) < s.limit {
+		s.log = append(s.log, r)
 	}
 	var buf [17]byte
 	binary.LittleEndian.PutUint64(buf[0:], uint64(r.At))
 	binary.LittleEndian.PutUint64(buf[8:], uint64(r.Extra))
 	buf[16] = uint8(r.Kind)
-	j.digest.Write(buf[:])
-	j.digest.Write([]byte(r.Where))
+	s.digest.Write(buf[:])
+	s.digest.Write([]byte(r.Where))
+}
+
+// dirState is the per-direction injector state (the GE chain position).
+type dirState struct {
+	*site
+	f     LinkFaults
+	flaps windowCursor
+	bad   bool // Gilbert–Elliott chain in the bad state
+}
+
+// Injector drives a Plan against the testbed. All decisions come from
+// the owning engine's RNG and clock, so the injected fault schedule is
+// a deterministic function of (plan, seeds) — ScheduleDigest pins it.
+type Injector struct {
+	plan Plan
+
+	ab, ba dirState
+	stallA windowCursor
+	stallB windowCursor
+	dmaA   *site
+	dmaB   *site
+}
+
+// New builds an injector for the plan on the engine's clock and RNG.
+func New(eng *sim.Engine, plan Plan) *Injector {
+	return NewOn(eng, eng, plan)
+}
+
+// NewOn builds an injector whose A-side sites (a-to-b, dma-a) live on
+// engA and B-side sites (b-to-a, dma-b) on engB — the sharded testbed,
+// where each machine is its own shard. With engA == engB it is exactly
+// New. Each direction walks its own cursor over the shared flap window
+// list (the cursors are per-site state; the windows are read-only).
+func NewOn(engA, engB *sim.Engine, plan Plan) *Injector {
+	plan = plan.normalized()
+	return &Injector{
+		plan:   plan,
+		ab:     dirState{site: newSite(engA, "a-to-b", plan.LogLimit), f: plan.AtoB, flaps: windowCursor{ws: plan.Flaps}},
+		ba:     dirState{site: newSite(engB, "b-to-a", plan.LogLimit), f: plan.BtoA, flaps: windowCursor{ws: plan.Flaps}},
+		stallA: windowCursor{ws: plan.StallsA},
+		stallB: windowCursor{ws: plan.StallsB},
+		dmaA:   newSite(engA, "dma-a", plan.LogLimit),
+		dmaB:   newSite(engB, "dma-b", plan.LogLimit),
+	}
 }
 
 // judge makes the per-frame decision for one direction.
-func (j *Injector) judge(d *dirState, now sim.Time) fabric.Verdict {
+func (d *dirState) judge(now sim.Time) fabric.Verdict {
 	var v fabric.Verdict
-	if _, down := j.flaps.active(now); down {
-		j.st.FlapDropped++
-		j.record(Record{At: now, Where: d.where, Kind: KindFlap})
+	if _, down := d.flaps.active(now); down {
+		d.st.FlapDropped++
+		d.record(Record{At: now, Where: d.where, Kind: KindFlap})
 		v.Drop = true
 		return v
 	}
 	f := &d.f
-	rng := j.eng.Rand()
+	rng := d.eng.Rand()
 	if f.Loss.enabled() {
 		if d.bad {
 			if rng.Float64() < f.Loss.PBadGood {
@@ -170,41 +198,38 @@ func (j *Injector) judge(d *dirState, now sim.Time) fabric.Verdict {
 			p = f.Loss.LossBad
 		}
 		if p > 0 && rng.Float64() < p {
-			j.st.Dropped++
-			j.record(Record{At: now, Where: d.where, Kind: KindDrop})
+			d.st.Dropped++
+			d.record(Record{At: now, Where: d.where, Kind: KindDrop})
 			v.Drop = true
 			return v
 		}
 	}
 	if f.CorruptProb > 0 && rng.Float64() < f.CorruptProb {
-		j.st.Corrupted++
-		j.record(Record{At: now, Where: d.where, Kind: KindCorrupt})
+		d.st.Corrupted++
+		d.record(Record{At: now, Where: d.where, Kind: KindCorrupt})
 		v.Corrupt = true
 	}
 	if f.DupProb > 0 && rng.Float64() < f.DupProb {
-		j.st.Duplicated++
-		j.record(Record{At: now, Where: d.where, Kind: KindDup, Extra: f.DupDelay})
+		d.st.Duplicated++
+		d.record(Record{At: now, Where: d.where, Kind: KindDup, Extra: f.DupDelay})
 		v.Duplicate = true
 		v.DupDelay = f.DupDelay
 	}
 	if f.ReorderProb > 0 && f.ReorderMax > 0 && rng.Float64() < f.ReorderProb {
 		delay := sim.Duration(1 + rng.Int63n(int64(f.ReorderMax)))
-		j.st.Reordered++
-		j.record(Record{At: now, Where: d.where, Kind: KindReorder, Extra: delay})
+		d.st.Reordered++
+		d.record(Record{At: now, Where: d.where, Kind: KindReorder, Extra: delay})
 		v.Delay = delay
 	}
 	return v
 }
 
 // dirInjector adapts one direction to fabric.FaultInjector.
-type dirInjector struct {
-	j *Injector
-	d *dirState
-}
+type dirInjector struct{ d *dirState }
 
 // Judge implements fabric.FaultInjector.
 func (di dirInjector) Judge(now sim.Time, frameLen int) fabric.Verdict {
-	return di.j.judge(di.d, now)
+	return di.d.judge(now)
 }
 
 // AtoB returns the fault injector for the A→B direction (nil when the
@@ -213,7 +238,7 @@ func (j *Injector) AtoB() fabric.FaultInjector {
 	if !j.plan.AtoB.enabled() && len(j.plan.Flaps) == 0 {
 		return nil
 	}
-	return dirInjector{j: j, d: &j.ab}
+	return dirInjector{d: &j.ab}
 }
 
 // BtoA returns the fault injector for the B→A direction.
@@ -221,11 +246,11 @@ func (j *Injector) BtoA() fabric.FaultInjector {
 	if !j.plan.BtoA.enabled() && len(j.plan.Flaps) == 0 {
 		return nil
 	}
-	return dirInjector{j: j, d: &j.ba}
+	return dirInjector{d: &j.ba}
 }
 
 // stallFn builds a pcie.StallFn over a window cursor.
-func (j *Injector) stallFn(cur *windowCursor, where string) pcie.StallFn {
+func (j *Injector) stallFn(cur *windowCursor, s *site) pcie.StallFn {
 	if len(cur.ws) == 0 {
 		return nil
 	}
@@ -235,17 +260,17 @@ func (j *Injector) stallFn(cur *windowCursor, where string) pcie.StallFn {
 			return 0
 		}
 		d := w.End().Sub(now)
-		j.st.Stalled++
-		j.record(Record{At: now, Where: where, Kind: KindStall, Extra: d})
+		s.st.Stalled++
+		s.record(Record{At: now, Where: s.where, Kind: KindStall, Extra: d})
 		return d
 	}
 }
 
 // StallA returns the DMA stall hook for machine A (nil when unused).
-func (j *Injector) StallA() pcie.StallFn { return j.stallFn(&j.stallA, "dma-a") }
+func (j *Injector) StallA() pcie.StallFn { return j.stallFn(&j.stallA, j.dmaA) }
 
 // StallB returns the DMA stall hook for machine B (nil when unused).
-func (j *Injector) StallB() pcie.StallFn { return j.stallFn(&j.stallB, "dma-b") }
+func (j *Injector) StallB() pcie.StallFn { return j.stallFn(&j.stallB, j.dmaB) }
 
 // Apply wires the injector into a link and the two DMA engines. Any
 // argument may be nil to skip that attachment.
@@ -262,29 +287,66 @@ func (j *Injector) Apply(link *fabric.Link, dmaA, dmaB *pcie.Engine) {
 	}
 }
 
-// Stats returns the fault counters.
-func (j *Injector) Stats() Stats { return j.st }
+// sites returns the injection sites in their canonical combination
+// order. Every cross-site view folds in this order so the result is
+// independent of how the sites were spread over shard goroutines.
+func (j *Injector) sites() [4]*site { return [4]*site{j.ab.site, j.ba.site, j.dmaA, j.dmaB} }
 
-// Records returns the retained fault log (bounded by Plan.LogLimit, in
-// injection order).
-func (j *Injector) Records() []Record { return j.log }
+// Stats returns the fault counters summed over all sites.
+func (j *Injector) Stats() Stats {
+	var t Stats
+	for _, s := range j.sites() {
+		t.Dropped += s.st.Dropped
+		t.FlapDropped += s.st.FlapDropped
+		t.Corrupted += s.st.Corrupted
+		t.Duplicated += s.st.Duplicated
+		t.Reordered += s.st.Reordered
+		t.Stalled += s.st.Stalled
+	}
+	return t
+}
+
+// Records returns the retained fault log (each site bounded by
+// Plan.LogLimit), merged across sites by injection time with ties
+// broken by canonical site order — a total order that does not depend
+// on shard interleaving.
+func (j *Injector) Records() []Record {
+	var out []Record
+	for _, s := range j.sites() {
+		out = append(out, s.log...)
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].At < out[b].At })
+	return out
+}
 
 // ScheduleDigest returns a CRC64 over every injected fault (time, site,
-// kind, delay) in injection order. Two runs of the same plan at the same
-// seed must produce equal digests — the replayability contract.
-func (j *Injector) ScheduleDigest() uint64 { return j.digest.Sum64() }
+// kind, delay), folding the per-site digests in canonical site order.
+// Two runs of the same plan at the same seed must produce equal digests
+// — sharded or not — the replayability contract.
+func (j *Injector) ScheduleDigest() uint64 {
+	d := crc.NewDigest64()
+	var buf [8]byte
+	for _, s := range j.sites() {
+		binary.LittleEndian.PutUint64(buf[:], s.digest.Sum64())
+		d.Write(buf[:])
+	}
+	return d.Sum64()
+}
 
 // AttachTelemetry mirrors the fault counters into a metrics registry.
+// Collection runs after the simulation (or between barriers), so the
+// cross-site sum is safe there.
 func (j *Injector) AttachTelemetry(reg *telemetry.Registry) {
 	if reg == nil {
 		return
 	}
 	reg.OnCollect(func() {
-		reg.Counter("chaos_dropped").Set(j.st.Dropped)
-		reg.Counter("chaos_flap_dropped").Set(j.st.FlapDropped)
-		reg.Counter("chaos_corrupted").Set(j.st.Corrupted)
-		reg.Counter("chaos_duplicated").Set(j.st.Duplicated)
-		reg.Counter("chaos_reordered").Set(j.st.Reordered)
-		reg.Counter("chaos_dma_stalled").Set(j.st.Stalled)
+		st := j.Stats()
+		reg.Counter("chaos_dropped").Set(st.Dropped)
+		reg.Counter("chaos_flap_dropped").Set(st.FlapDropped)
+		reg.Counter("chaos_corrupted").Set(st.Corrupted)
+		reg.Counter("chaos_duplicated").Set(st.Duplicated)
+		reg.Counter("chaos_reordered").Set(st.Reordered)
+		reg.Counter("chaos_dma_stalled").Set(st.Stalled)
 	})
 }

@@ -20,12 +20,44 @@ const (
 
 // nicTelemetry is the NIC's handle onto the observability layer; nil
 // when telemetry is disabled, so hot paths pay one pointer compare.
+// Metric handles the hot paths touch are resolved once — at attach time
+// for the fixed set, on first use for per-(qp,op) keys — and held here,
+// so steady-state instrumentation never formats label strings or walks
+// the registry's lookup map (both allocate).
 type nicTelemetry struct {
 	reg    *telemetry.Registry
 	tb     *telemetry.TraceBuffer
 	pid    uint32
 	name   string
 	seenQP map[uint32]bool
+
+	opHist map[opKey]*telemetry.Histogram // op_latency_ps, per (qp, op)
+	opErrs map[string]*telemetry.Counter  // op_errors, per op
+	qpSamp map[uint32]*qpSampleHandles    // TelemetrySample per-QP handles
+
+	// TelemetrySample fixed handles, resolved at attach time.
+	kernSamp []kernelSampleHandles // in deterministic rpcOp order
+	dbHist   *telemetry.Histogram  // doorbell_backlog_ps
+}
+
+// opKey identifies one (queue pair, verb) latency series.
+type opKey struct {
+	qpn uint32
+	op  string
+}
+
+// qpSampleHandles holds one QP's occupancy-sample instruments.
+type qpSampleHandles struct {
+	outstandingReads *telemetry.Histogram
+	unackedPackets   *telemetry.Histogram
+}
+
+// kernelSampleHandles holds one deployed kernel's occupancy instruments
+// plus the deployment they sample.
+type kernelSampleHandles struct {
+	d        *deployment
+	inflight *telemetry.Gauge
+	samples  *telemetry.Histogram
 }
 
 // AttachTelemetry wires the NIC and all its components (RoCE stack, DMA
@@ -35,7 +67,13 @@ type nicTelemetry struct {
 // stack/DMA tracks. Either argument may be nil. Call after deploying
 // kernels so every deployment gets its trace lane.
 func (n *NIC) AttachTelemetry(reg *telemetry.Registry, tb *telemetry.TraceBuffer, pid uint32, name string) {
-	n.tel = &nicTelemetry{reg: reg, tb: tb, pid: pid, name: name, seenQP: make(map[uint32]bool)}
+	n.tel = &nicTelemetry{
+		reg: reg, tb: tb, pid: pid, name: name,
+		seenQP: make(map[uint32]bool),
+		opHist: make(map[opKey]*telemetry.Histogram),
+		opErrs: make(map[string]*telemetry.Counter),
+		qpSamp: make(map[uint32]*qpSampleHandles),
+	}
 	tb.NameProcess(pid, "nic:"+name)
 	n.stack.AttachTelemetry(reg, tb, pid)
 	n.dma.AttachTelemetry(reg, tb, pid, name)
@@ -62,7 +100,9 @@ func (n *NIC) AttachTelemetry(reg *telemetry.Registry, tb *telemetry.TraceBuffer
 		})
 	}
 	// One trace lane and occupancy instrumentation per deployed kernel,
-	// assigned in rpcOp order so lane numbering is deterministic.
+	// assigned in rpcOp order so lane numbering is deterministic. The
+	// sampling handles are resolved here, once, so TelemetrySample never
+	// sorts or formats labels on the probe path.
 	ops := make([]uint64, 0, len(n.kernels))
 	for op := range n.kernels {
 		ops = append(ops, op)
@@ -72,6 +112,17 @@ func (n *NIC) AttachTelemetry(reg *telemetry.Registry, tb *telemetry.TraceBuffer
 		d := n.kernels[op]
 		d.ctx.tid = uint32(traceTidKernelBase + i)
 		tb.NameThread(pid, d.ctx.tid, "kernel:"+d.kernel.Name())
+		if reg != nil {
+			lbl := telemetry.L("kernel", d.kernel.Name())
+			n.tel.kernSamp = append(n.tel.kernSamp, kernelSampleHandles{
+				d:        d,
+				inflight: reg.Gauge("kernel_inflight_dma", nic, lbl),
+				samples:  reg.Histogram("kernel_inflight_dma_samples", "commands", nic, lbl),
+			})
+		}
+	}
+	if reg != nil {
+		n.tel.dbHist = reg.Histogram("doorbell_backlog_ps", "ps", nic)
 	}
 }
 
@@ -85,6 +136,30 @@ func (t *nicTelemetry) qpTid(qpn uint32) uint32 {
 	return tid
 }
 
+// opLatency returns the latency histogram for a (qp, op) pair,
+// resolving it through the registry (label formatting and all) only the
+// first time the pair is seen; every later post is a map hit.
+func (t *nicTelemetry) opLatency(qpn uint32, op string) *telemetry.Histogram {
+	k := opKey{qpn: qpn, op: op}
+	if h, ok := t.opHist[k]; ok {
+		return h
+	}
+	h := t.reg.Histogram("op_latency_ps", "ps",
+		telemetry.L("nic", t.name), telemetry.L("qp", strconv.FormatUint(uint64(qpn), 10)), telemetry.L("op", op))
+	t.opHist[k] = h
+	return h
+}
+
+// opErrors returns the error counter for a verb, resolved on first use.
+func (t *nicTelemetry) opErrors(op string) *telemetry.Counter {
+	if c, ok := t.opErrs[op]; ok {
+		return c
+	}
+	c := t.reg.Counter("op_errors", telemetry.L("nic", t.name), telemetry.L("op", op))
+	t.opErrs[op] = c
+	return c
+}
+
 // instrumentOp wraps a host-posted operation's completion callback to
 // record a per-QP span (doorbell through remote acknowledgement) and a
 // per-QP latency histogram observation. Returns done unchanged when
@@ -96,14 +171,13 @@ func (n *NIC) instrumentOp(op string, qpn uint32, done func(error)) func(error) 
 	}
 	start := n.eng.Now()
 	tid := t.qpTid(qpn)
-	hist := t.reg.Histogram("op_latency_ps", "ps",
-		telemetry.L("nic", t.name), telemetry.L("qp", strconv.FormatUint(uint64(qpn), 10)), telemetry.L("op", op))
+	hist := t.opLatency(qpn, op)
 	return func(err error) {
 		d := n.eng.Now().Sub(start)
 		arg := ""
 		if err != nil {
 			arg = err.Error()
-			t.reg.Counter("op_errors", telemetry.L("nic", t.name), telemetry.L("op", op)).Inc()
+			t.opErrors(op).Inc()
 		}
 		t.tb.Complete(t.pid, tid, "op", op, start, d, arg)
 		hist.Observe(d)
@@ -122,26 +196,27 @@ func (n *NIC) TelemetrySample() {
 	if t == nil || t.reg == nil {
 		return
 	}
-	nic := telemetry.L("nic", t.name)
-	ops := make([]uint64, 0, len(n.kernels))
-	for op := range n.kernels {
-		ops = append(ops, op)
-	}
-	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
-	for _, op := range ops {
-		d := n.kernels[op]
-		lbl := telemetry.L("kernel", d.kernel.Name())
-		t.reg.Gauge("kernel_inflight_dma", nic, lbl).Set(float64(d.ctx.inflight))
-		t.reg.Histogram("kernel_inflight_dma_samples", "commands", nic, lbl).ObserveInt(int64(d.ctx.inflight))
+	for _, k := range t.kernSamp {
+		k.inflight.Set(float64(k.d.ctx.inflight))
+		k.samples.ObserveInt(int64(k.d.ctx.inflight))
 	}
 	n.stack.EachActiveQP(func(qpn uint32) {
-		qp := telemetry.L("qp", strconv.FormatUint(uint64(qpn), 10))
-		t.reg.Histogram("qp_outstanding_reads", "reads", nic, qp).ObserveInt(int64(n.stack.OutstandingReads(qpn)))
-		t.reg.Histogram("qp_unacked_packets", "packets", nic, qp).ObserveInt(int64(n.stack.PendingPackets(qpn)))
+		h, ok := t.qpSamp[qpn]
+		if !ok {
+			nic := telemetry.L("nic", t.name)
+			qp := telemetry.L("qp", strconv.FormatUint(uint64(qpn), 10))
+			h = &qpSampleHandles{
+				outstandingReads: t.reg.Histogram("qp_outstanding_reads", "reads", nic, qp),
+				unackedPackets:   t.reg.Histogram("qp_unacked_packets", "packets", nic, qp),
+			}
+			t.qpSamp[qpn] = h
+		}
+		h.outstandingReads.ObserveInt(int64(n.stack.OutstandingReads(qpn)))
+		h.unackedPackets.ObserveInt(int64(n.stack.PendingPackets(qpn)))
 	})
 	backlog := n.doorbell.NextFree().Sub(n.eng.Now())
 	if backlog < 0 {
 		backlog = 0
 	}
-	t.reg.Histogram("doorbell_backlog_ps", "ps", nic).Observe(backlog)
+	t.dbHist.Observe(backlog)
 }

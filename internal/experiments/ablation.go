@@ -31,7 +31,7 @@ func AblationDoorbell(o Options) (*stats.Figure, error) {
 	for _, ns := range []int{25, 70, 140, 280} {
 		prof := profile10G()
 		prof.cfg.Host.DoorbellInterval = sim.Duration(ns) * sim.Nanosecond
-		pair, err := newPair(o.Seed, prof, 8<<20)
+		pair, err := newPair(o, prof, 8<<20)
 		if err != nil {
 			return nil, err
 		}
@@ -48,7 +48,7 @@ func AblationDoorbell(o Options) (*stats.Figure, error) {
 				})
 			}
 		})
-		pair.Eng.Run()
+		pair.Run()
 		if remaining != 0 {
 			return nil, fmt.Errorf("doorbell ablation stalled at %dns", ns)
 		}
@@ -79,7 +79,7 @@ func traversalPerHop(o Options, readLatency sim.Duration) (float64, error) {
 	lat := func(listLen int) (sim.Duration, error) {
 		prof := profile10G()
 		prof.cfg.PCIe.ReadLatency = readLatency
-		pair, err := newPair(o.Seed, prof, 16<<20)
+		pair, err := newPair(o, prof, 16<<20)
 		if err != nil {
 			return 0, err
 		}
@@ -108,7 +108,7 @@ func traversalPerHop(o Options, readLatency sim.Duration) (float64, error) {
 			}
 			d = p.Now().Sub(start)
 		})
-		pair.Eng.Run()
+		pair.Run()
 		return d, runErr
 	}
 	l4, err := lat(4)
@@ -172,7 +172,7 @@ func AblationLoss(o Options) (*stats.Figure, error) {
 	s := fig.NewSeries("StRoM: Write")
 	for _, loss := range []float64{0, 0.0001, 0.001, 0.01} {
 		prof := profile10G()
-		pair, err := newPair(o.Seed, prof, 8<<20)
+		pair, err := newPair(o, prof, 8<<20)
 		if err != nil {
 			return nil, err
 		}
@@ -198,7 +198,7 @@ func AblationLoss(o Options) (*stats.Figure, error) {
 				})
 			}
 		})
-		pair.Eng.Run()
+		pair.Run()
 		if opErr != nil {
 			return nil, opErr
 		}
@@ -254,7 +254,7 @@ func getOpsThroughput(o Options, clients int) (readMops, stromMops float64, err 
 	const valueSize = 256
 	opsPerClient := o.Iterations * 20
 	run := func(useKernel bool) (float64, error) {
-		pair, err := newPair(o.Seed, profile10G(), 32<<20)
+		pair, err := newPair(o, profile10G(), 32<<20)
 		if err != nil {
 			return 0, err
 		}
@@ -334,7 +334,7 @@ func getOpsThroughput(o Options, clients int) (readMops, stromMops float64, err 
 				}
 			})
 		}
-		pair.Eng.Run()
+		pair.Run()
 		if finished != clients {
 			return 0, fmt.Errorf("get-ops clients stalled (%d/%d)", finished, clients)
 		}

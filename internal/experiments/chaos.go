@@ -54,7 +54,7 @@ type chaosMeasure struct {
 // first half of B's buffer and READs of a static region in the second
 // half — under the plan, with invariant checkers on both stacks.
 func runChaosPoint(o Options, plan chaos.Plan) (chaosMeasure, error) {
-	pair, err := newPair(o.Seed, profile10G(), 8<<20)
+	pair, err := newPair(o.unsharded(), profile10G(), 8<<20)
 	if err != nil {
 		return chaosMeasure{}, err
 	}
@@ -84,7 +84,7 @@ func runChaosPoint(o Options, plan chaos.Plan) (chaosMeasure, error) {
 		}
 		m.elapsed = pair.Eng.Now().Sub(0)
 	})
-	pair.Eng.Run()
+	pair.Run()
 	if runErr != nil {
 		return chaosMeasure{}, fmt.Errorf("chaos workload: %w", runErr)
 	}
@@ -230,7 +230,7 @@ func chaosTelemetryPlan() chaos.Plan {
 // fires (kernel_mr_fault).
 func WriteChaosTelemetry(o Options, metricsW, traceW io.Writer) error {
 	o = o.normalized()
-	pair, err := newPair(o.Seed, profile10G(), 8<<20)
+	pair, err := newPair(o.unsharded(), profile10G(), 8<<20)
 	if err != nil {
 		return err
 	}
@@ -306,7 +306,7 @@ func WriteChaosTelemetry(o Options, metricsW, traceW io.Writer) error {
 		}
 	})
 	pair.StartProbes(tel, 2*sim.Microsecond)
-	pair.Eng.Run()
+	pair.Run()
 	if runErr == nil && rogue.Stats().Unexpected > 0 {
 		runErr = fmt.Errorf("rogue requester: %d forged requests completed (protection failed)", rogue.Stats().Unexpected)
 	}

@@ -45,7 +45,7 @@ func Fig9Consistency(o Options) (*stats.Figure, error) {
 
 // consistencyBed prepares a CRC64-stamped object in B's memory.
 func consistencyBed(o Options, size int) (*testrig.Pair, hostmem.Addr, []byte, error) {
-	pair, err := newPair(o.Seed, profile10G(), 8<<20)
+	pair, err := newPair(o, profile10G(), 8<<20)
 	if err != nil {
 		return nil, 0, nil, err
 	}
@@ -108,7 +108,7 @@ func consistencyLatencies(o Options, size int) (read, sw, strom *stats.Sample, e
 			strom.Add(p.Now().Sub(start).Microseconds())
 		}
 	})
-	pair.Eng.Run()
+	pair.Run()
 	if runErr != nil {
 		return nil, nil, nil, runErr
 	}
@@ -144,7 +144,9 @@ func Fig10FailureRate(o Options) (*stats.Figure, error) {
 }
 
 func failureRateLatencies(o Options, size int, rate float64) (swAvg, stromAvg float64, err error) {
-	pair, objVA, good, err := consistencyBed(o, size)
+	// Pinned unsharded: the client process plays the "concurrent writer"
+	// by rewriting the object in B's memory between its own A-side reads.
+	pair, objVA, good, err := consistencyBed(o.unsharded(), size)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -216,7 +218,7 @@ func failureRateLatencies(o Options, size int, rate float64) (swAvg, stromAvg fl
 			strom.Add(p.Now().Sub(start).Microseconds())
 		}
 	})
-	pair.Eng.Run()
+	pair.Run()
 	if runErr != nil {
 		return 0, 0, runErr
 	}

@@ -38,7 +38,10 @@ func Fig13aHLLCPU(o Options) (*stats.Figure, error) {
 }
 
 func hllCPUThroughput(o Options, threads int) (float64, error) {
-	pair, err := newPair(o.Seed, profile100G(), 16<<20)
+	// Pinned unsharded: the write-completion callback (machine A) feeds
+	// the software HLL on machine B's CPU directly — a simulation
+	// shortcut that only works when both machines share an engine.
+	pair, err := newPair(o.unsharded(), profile100G(), 16<<20)
 	if err != nil {
 		return 0, err
 	}
@@ -81,7 +84,7 @@ func hllCPUThroughput(o Options, threads int) (float64, error) {
 			})
 		}
 	})
-	pair.Eng.Run()
+	pair.Run()
 	if opErr != nil {
 		return 0, opErr
 	}
@@ -122,7 +125,7 @@ func Fig13bHLLStRoM(o Options) (*stats.Figure, error) {
 }
 
 func hllKernelThroughput(o Options, size int) (float64, error) {
-	pair, err := newPair(o.Seed, profile100G(), 16<<20)
+	pair, err := newPair(o, profile100G(), 16<<20)
 	if err != nil {
 		return 0, err
 	}
@@ -166,7 +169,7 @@ func hllKernelThroughput(o Options, size int) (float64, error) {
 			}
 		})
 	})
-	pair.Eng.Run()
+	pair.Run()
 	if opErr != nil {
 		return 0, opErr
 	}
@@ -185,7 +188,7 @@ func hllKernelThroughput(o Options, size int) (float64, error) {
 // error).
 func HLLAccuracyCheck(o Options, distinct int) (float64, float64, error) {
 	o = o.normalized()
-	pair, err := newPair(o.Seed, profile100G(), 32<<20)
+	pair, err := newPair(o, profile100G(), 32<<20)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -211,18 +214,25 @@ func HLLAccuracyCheck(o Options, distinct int) (float64, float64, error) {
 		}
 		if err := pair.A.RPCWriteSync(p, testrig.QPA, hllOp, uint64(pair.BufA.Base()), len(data)); err != nil {
 			runErr = err
-			return
 		}
+	})
+	// The result is polled on machine B's host CPU (its own shard when
+	// sharded): the kernel publishes the estimate into B's memory.
+	var pollErr error
+	pair.EngB.Go("poller", func(p *sim.Process) {
 		raw, err := pair.B.Host().Poll(p, pair.B.Memory(), resultVA, hllkernel.ResultSize, func(b []byte) bool {
 			return binary.LittleEndian.Uint64(b[16:24]) != 0
 		}, 0)
 		if err != nil {
-			runErr = err
+			pollErr = err
 			return
 		}
 		est = math.Float64frombits(binary.LittleEndian.Uint64(raw[8:16]))
 	})
-	pair.Eng.Run()
+	pair.Run()
+	if runErr == nil {
+		runErr = pollErr
+	}
 	if runErr != nil {
 		return 0, 0, runErr
 	}

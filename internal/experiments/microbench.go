@@ -55,14 +55,15 @@ func latencyFigure(o Options, prof profile, title string) (*stats.Figure, error)
 // writePingPongLatency runs the §6.1 ping-pong: the reported value is
 // RTT/2 in microseconds.
 func writePingPongLatency(o Options, prof profile, size int) (*stats.Sample, error) {
-	pair, err := newPair(o.Seed, prof, 8<<20)
+	pair, err := newPair(o, prof, 8<<20)
 	if err != nil {
 		return nil, err
 	}
 	var lat stats.Sample
 	hostA, hostB := pair.A.Host(), pair.B.Host()
 	// Responder: poll on the ping flag, clear it, write the pong back.
-	pair.Eng.Go("responder", func(p *sim.Process) {
+	// It runs on machine B's engine — its own shard when sharded.
+	pair.EngB.Go("responder", func(p *sim.Process) {
 		pong := make([]byte, size)
 		for i := range pong {
 			pong[i] = 0xFF
@@ -106,7 +107,7 @@ func writePingPongLatency(o Options, prof profile, size int) (*stats.Sample, err
 			lat.Add(rtt.Microseconds() / 2)
 		}
 	})
-	pair.Eng.Run()
+	pair.Run()
 	if lat.N() != o.Iterations {
 		return nil, fmt.Errorf("ping-pong incomplete: %d/%d", lat.N(), o.Iterations)
 	}
@@ -116,7 +117,7 @@ func writePingPongLatency(o Options, prof profile, size int) (*stats.Sample, err
 // readLatency measures posting an RDMA READ until its data is visible in
 // local memory.
 func readLatency(o Options, prof profile, size int) (*stats.Sample, error) {
-	pair, err := newPair(o.Seed, prof, 8<<20)
+	pair, err := newPair(o, prof, 8<<20)
 	if err != nil {
 		return nil, err
 	}
@@ -130,7 +131,7 @@ func readLatency(o Options, prof profile, size int) (*stats.Sample, error) {
 			lat.Add(p.Now().Sub(start).Microseconds())
 		}
 	})
-	pair.Eng.Run()
+	pair.Run()
 	if lat.N() != o.Iterations {
 		return nil, fmt.Errorf("read latency incomplete: %d/%d", lat.N(), o.Iterations)
 	}
@@ -168,7 +169,7 @@ func throughputFigure(o Options, prof profile, title string) (*stats.Figure, err
 }
 
 func writeThroughput(o Options, prof profile, size int) (float64, error) {
-	pair, err := newPair(o.Seed, prof, 8<<20)
+	pair, err := newPair(o, prof, 8<<20)
 	if err != nil {
 		return 0, err
 	}
@@ -198,7 +199,7 @@ func writeThroughput(o Options, prof profile, size int) (float64, error) {
 			})
 		}
 	})
-	pair.Eng.Run()
+	pair.Run()
 	if opErr != nil {
 		return 0, opErr
 	}
@@ -209,7 +210,7 @@ func writeThroughput(o Options, prof profile, size int) (float64, error) {
 }
 
 func readThroughput(o Options, prof profile, size int) (float64, error) {
-	pair, err := newPair(o.Seed, prof, 8<<20)
+	pair, err := newPair(o, prof, 8<<20)
 	if err != nil {
 		return 0, err
 	}
@@ -246,7 +247,7 @@ func readThroughput(o Options, prof profile, size int) (float64, error) {
 		}
 	}
 	pair.Eng.Schedule(0, post)
-	pair.Eng.Run()
+	pair.Run()
 	if opErr != nil {
 		return 0, opErr
 	}
@@ -276,7 +277,7 @@ func messageRateFigure(o Options, prof profile, title string) (*stats.Figure, er
 		if size >= 1024 {
 			msgs = 20_000
 		}
-		pair, err := newPair(o.Seed, prof, 8<<20)
+		pair, err := newPair(o, prof, 8<<20)
 		if err != nil {
 			return nil, err
 		}
@@ -293,14 +294,14 @@ func messageRateFigure(o Options, prof profile, title string) (*stats.Figure, er
 				})
 			}
 		})
-		pair.Eng.Run()
+		pair.Run()
 		if remaining != 0 {
 			return nil, fmt.Errorf("message-rate writes stalled")
 		}
 		wr.Add(float64(size), sizeLabel(size), mrate(msgs, done))
 
 		// Reads: windowed by the Multi-Queue depth.
-		pair, err = newPair(o.Seed, prof, 8<<20)
+		pair, err = newPair(o, prof, 8<<20)
 		if err != nil {
 			return nil, err
 		}
@@ -326,7 +327,7 @@ func messageRateFigure(o Options, prof profile, title string) (*stats.Figure, er
 			}
 		}
 		pair.Eng.Schedule(0, post)
-		pair.Eng.Run()
+		pair.Run()
 		if completedN != rmsgs {
 			return nil, fmt.Errorf("message-rate reads stalled")
 		}

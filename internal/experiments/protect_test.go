@@ -64,7 +64,7 @@ func TestNICNAKMatrix(t *testing.T) {
 			pair.Eng.Go("attacker", func(p *sim.Process) {
 				opErr = pair.A.WriteKeySyncDeadline(p, testrig.QPA, uint64(pair.BufA.Base()), va, rkey, n, p.Now().Add(2*sim.Millisecond))
 			})
-			pair.Eng.Run()
+			pair.Run()
 
 			if !errors.Is(opErr, roce.ErrQPError) || !errors.Is(opErr, roce.ErrRemoteAccess) {
 				t.Fatalf("completion error = %v, want ErrQPError wrapping ErrRemoteAccess", opErr)
@@ -114,7 +114,7 @@ func TestSkipMRValidationTripsInvariant9(t *testing.T) {
 		// requester may never see an ACK.
 		pair.A.WriteSyncDeadline(p, testrig.QPA, uint64(pair.BufA.Base()), oob, 1<<12, p.Now().Add(2*sim.Millisecond))
 	})
-	pair.Eng.Run()
+	pair.Run()
 
 	if v := ca.Finish(); len(v) > 0 {
 		t.Errorf("requester-side violations: %v", v)

@@ -65,7 +65,7 @@ func recoveryPlan() chaos.Plan {
 // runRecoveryPoint drives the deadline-bounded workload with the given
 // number of crash/restart cycles on B.
 func runRecoveryPoint(o Options, cycles int) (recoveryMeasure, error) {
-	pair, err := newPair(o.Seed, profile10G(), 8<<20)
+	pair, err := newPair(o.unsharded(), profile10G(), 8<<20)
 	if err != nil {
 		return recoveryMeasure{}, err
 	}
@@ -141,7 +141,7 @@ func runRecoveryPoint(o Options, cycles int) (recoveryMeasure, error) {
 		}
 		m.elapsed = pair.Eng.Now().Sub(0)
 	})
-	pair.Eng.Run()
+	pair.Run()
 	if runErr != nil {
 		return recoveryMeasure{}, fmt.Errorf("recovery workload: %w", runErr)
 	}

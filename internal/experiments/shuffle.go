@@ -78,7 +78,7 @@ func shuffleData(o Options, pair *testrig.Pair, bytes int) (chunks int, chunkByt
 
 // shufflePlainWrite: the lower bound — just stream the data.
 func shufflePlainWrite(o Options, bytes int) (sim.Duration, error) {
-	pair, err := newPair(o.Seed, profile10G(), int(8<<20))
+	pair, err := newPair(o, profile10G(), int(8<<20))
 	if err != nil {
 		return 0, err
 	}
@@ -103,7 +103,7 @@ func shufflePlainWrite(o Options, bytes int) (sim.Duration, error) {
 			})
 		}
 	})
-	pair.Eng.Run()
+	pair.Run()
 	if opErr != nil {
 		return 0, opErr
 	}
@@ -118,7 +118,7 @@ func shuffleStrom(o Options, bytes int) (sim.Duration, error) {
 	// B needs room for the descriptor table plus all partition regions
 	// (2x expectation each, plus per-partition slack).
 	bufBytes := 2*bytes + shuffle.MaxPartitions*4096 + (8 << 20)
-	pair, err := newPair(o.Seed, profile10G(), bufBytes)
+	pair, err := newPair(o, profile10G(), bufBytes)
 	if err != nil {
 		return 0, err
 	}
@@ -149,8 +149,9 @@ func shuffleStrom(o Options, bytes int) (sim.Duration, error) {
 	}
 	var total sim.Duration
 	var runErr error
+	var pollErr error
+	start := sim.Time(0) // both processes start at t=0
 	pair.Eng.Go("sender", func(p *sim.Process) {
-		start := p.Now()
 		if err := pair.A.RPCSync(p, testrig.QPA, shuffleOp, params.Encode()); err != nil {
 			runErr = err
 			return
@@ -171,23 +172,29 @@ func shuffleStrom(o Options, bytes int) (sim.Duration, error) {
 		}
 		if _, err := c.Wait(p); err != nil {
 			runErr = err
-			return
 		}
-		// The shuffle is complete when the kernel posts the tuple count.
+	})
+	// The shuffle is complete when the kernel posts the tuple count into
+	// B's memory; B's own host CPU polls for it (its own shard when
+	// sharded — the completion word must not be read across machines).
+	pair.EngB.Go("completion", func(p *sim.Process) {
 		raw, err := pair.B.Host().Poll(p, pair.B.Memory(), completion, 8, func(b []byte) bool {
 			return binary.LittleEndian.Uint64(b) != 0
 		}, 0)
 		if err != nil {
-			runErr = err
+			pollErr = err
 			return
 		}
 		if got := binary.LittleEndian.Uint64(raw); got != params.TotalTuples {
-			runErr = fmt.Errorf("shuffle lost tuples: %d/%d", got, params.TotalTuples)
+			pollErr = fmt.Errorf("shuffle lost tuples: %d/%d", got, params.TotalTuples)
 			return
 		}
 		total = p.Now().Sub(start)
 	})
-	pair.Eng.Run()
+	pair.Run()
+	if runErr == nil {
+		runErr = pollErr
+	}
 	if runErr != nil {
 		return 0, runErr
 	}
@@ -198,7 +205,7 @@ func shuffleStrom(o Options, bytes int) (sim.Duration, error) {
 // partitions into 16-value buffers and writes each full buffer to its
 // remote partition region with a separate RDMA WRITE.
 func shuffleSoftware(o Options, bytes int) (sim.Duration, error) {
-	pair, err := newPair(o.Seed, profile10G(), 2*bytes+shuffle.MaxPartitions*4096+(8<<20))
+	pair, err := newPair(o, profile10G(), 2*bytes+shuffle.MaxPartitions*4096+(8<<20))
 	if err != nil {
 		return 0, err
 	}
@@ -273,7 +280,7 @@ func shuffleSoftware(o Options, bytes int) (sim.Duration, error) {
 		}
 		total = p.Now().Sub(start)
 	})
-	pair.Eng.Run()
+	pair.Run()
 	if runErr != nil {
 		return 0, runErr
 	}

@@ -34,7 +34,7 @@ const telemetryRPCOp = 0x01
 // Either writer may be nil to skip that export.
 func WriteTelemetry(o Options, metricsW, traceW io.Writer) error {
 	o = o.normalized()
-	pair, err := newPair(o.Seed, profile10G(), 32<<20)
+	pair, err := newPair(o, profile10G(), 32<<20)
 	if err != nil {
 		return err
 	}
@@ -79,6 +79,21 @@ func WriteTelemetry(o Options, metricsW, traceW io.Writer) error {
 		}
 		return err != nil
 	}
+	// setLoss flips both directions' impairment. The A→B side belongs to
+	// this shard and flips immediately; the B→A side belongs to machine
+	// B's shard, so the flip crosses via the group's outbox and lands one
+	// lookahead later (immediately when unsharded). The sleep puts the
+	// client past both flip points before the next verb — at a simulated
+	// time that does not depend on the worker count.
+	setLoss := func(p *sim.Process, imp fabric.Impairment) {
+		pair.Link.ImpairAtoB(imp)
+		var d sim.Duration
+		if pair.Group != nil {
+			d = pair.Group.Lookahead()
+		}
+		pair.Eng.CrossSchedule(pair.EngB, d, func() { pair.Link.ImpairBtoA(imp) })
+		p.Sleep(d)
+	}
 	pair.Eng.Go("telemetry-client", func(p *sim.Process) {
 		// Phase 1: clean one-sided verbs.
 		if fail("write", pair.A.WriteSync(p, testrig.QPA, localA, remoteB, xfer)) {
@@ -99,22 +114,19 @@ func WriteTelemetry(o Options, metricsW, traceW io.Writer) error {
 		// timeouts and retransmissions; dropped READ responses make A
 		// repeat the request, hitting B's duplicate-READ cache. The drop
 		// probability stays well inside the transport retry budget.
-		loss := fabric.Impairment{DropProb: 0.04}
-		pair.Link.ImpairAtoB(loss)
-		pair.Link.ImpairBtoA(loss)
+		setLoss(p, fabric.Impairment{DropProb: 0.04})
 		if fail("lossy write", pair.A.WriteSync(p, testrig.QPA, localA, remoteB, xfer)) {
 			return
 		}
 		if fail("lossy read", pair.A.ReadSync(p, testrig.QPA, remoteB, localA, xfer)) {
 			return
 		}
-		pair.Link.ImpairAtoB(fabric.Impairment{})
-		pair.Link.ImpairBtoA(fabric.Impairment{})
+		setLoss(p, fabric.Impairment{})
 		// Phase 4: recovery.
 		fail("final write", pair.A.WriteSync(p, testrig.QPA, localA, remoteB, xfer))
 	})
 	pair.StartProbes(tel, 2*sim.Microsecond)
-	pair.Eng.Run()
+	pair.Run()
 	if runErr != nil {
 		return runErr
 	}

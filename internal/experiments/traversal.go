@@ -47,7 +47,7 @@ func Fig7LinkedList(o Options) (*stats.Figure, error) {
 
 // listLookupLatencies runs the three approaches against the same list.
 func listLookupLatencies(o Options, listLen, valueSize int) (read, strom, tcp *stats.Sample, err error) {
-	pair, err := newPair(o.Seed, profile10G(), 16<<20)
+	pair, err := newPair(o, profile10G(), 16<<20)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -116,7 +116,7 @@ func listLookupLatencies(o Options, listLen, valueSize int) (read, strom, tcp *s
 			tcp.Add(p.Now().Sub(start).Microseconds())
 		}
 	})
-	pair.Eng.Run()
+	pair.Run()
 	if runErr != nil {
 		return nil, nil, nil, runErr
 	}
@@ -179,7 +179,7 @@ func Fig8HashTable(o Options) (*stats.Figure, error) {
 }
 
 func hashGetLatencies(o Options, valueSize int) (read, strom, tcp *stats.Sample, err error) {
-	pair, err := newPair(o.Seed, profile10G(), 24<<20)
+	pair, err := newPair(o, profile10G(), 24<<20)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -256,7 +256,7 @@ func hashGetLatencies(o Options, valueSize int) (read, strom, tcp *stats.Sample,
 			tcp.Add(p.Now().Sub(start).Microseconds())
 		}
 	})
-	pair.Eng.Run()
+	pair.Run()
 	if runErr != nil {
 		return nil, nil, nil, runErr
 	}

@@ -63,9 +63,15 @@ type Stats struct {
 	Delayed    uint64 // frames held back by a FaultInjector (reordering)
 }
 
-// direction is one side of a full-duplex link.
+// direction is one side of a full-duplex link. eng is the sending
+// shard's engine (serialization, RNG draws, fault judgement happen
+// there); dstEng is the receiving shard's engine, where the delivery
+// fires. They are the same engine unless the link spans two shards of
+// a sim.ShardGroup (NewLinkOn), in which case the propagation delay is
+// the lookahead that makes conservative parallel execution sound.
 type direction struct {
 	eng    *sim.Engine
+	dstEng *sim.Engine
 	wire   *sim.Serializer
 	gbps   float64
 	prop   sim.Duration
@@ -75,11 +81,31 @@ type direction struct {
 	stats  Stats
 	tracer *sim.Tracer
 
+	// Same-engine deliveries push here and schedule drainFn (bound
+	// once), so the per-frame closure is never allocated; see sim.FIFO.
+	pend    sim.FIFO[[]byte]
+	drainFn func()
+
 	// Structured tracing (nil when telemetry is disabled).
 	tb  *telemetry.TraceBuffer
 	pid uint32
 	tid uint32
 }
+
+// newDirection builds one side of a link or switch port.
+func newDirection(eng, dstEng *sim.Engine, gbps float64, prop sim.Duration, dst Endpoint, tracer *sim.Tracer) *direction {
+	d := &direction{
+		eng: eng, dstEng: dstEng, wire: sim.NewSerializer(eng),
+		gbps: gbps, prop: prop, dst: dst, tracer: tracer,
+	}
+	d.drainFn = d.drain
+	return d
+}
+
+// drain delivers the oldest undelayed in-flight frame. Their delivery
+// times are non-decreasing in push order (wire reservations plus the
+// constant propagation delay), so the engine fires drains in push order.
+func (d *direction) drain() { d.dst.DeliverFrame(d.pend.Pop()) }
 
 func (d *direction) send(frame []byte) {
 	d.stats.Frames++
@@ -123,7 +149,17 @@ func (d *direction) send(frame []byte) {
 		now := d.eng.Now()
 		d.tb.Complete(d.pid, d.tid, "wire", "frame", now, deliverAt.Sub(now), fmt.Sprintf("%d wire bytes", wireBytes))
 	}
-	d.eng.ScheduleAt(deliverAt, func() { d.dst.DeliverFrame(buf) })
+	if v.Delay == 0 && d.dstEng == d.eng {
+		// Hot path: in-order same-engine delivery through the drain
+		// queue — no per-frame closure.
+		d.pend.Push(buf)
+		d.eng.ScheduleAt(deliverAt, d.drainFn)
+	} else {
+		// Delayed frames break the FIFO delivery order, and cross-shard
+		// frames must fire on the destination's engine (CrossScheduleAt
+		// parks them in the shard outbox until the window barrier).
+		d.eng.CrossScheduleAt(d.dstEng, deliverAt, func() { d.dst.DeliverFrame(buf) })
+	}
 	if v.Duplicate {
 		// The duplicate is an independent copy (cloned now: the sender
 		// may recycle its buffer as soon as send returns).
@@ -132,7 +168,7 @@ func (d *direction) send(frame []byte) {
 		if d.tb != nil {
 			d.tb.Instant(d.pid, d.tid, "wire", "duplicate", fmt.Sprintf("%d bytes", len(frame)))
 		}
-		d.eng.ScheduleAt(deliverAt.Add(v.DupDelay), func() { d.dst.DeliverFrame(dup) })
+		d.eng.CrossScheduleAt(d.dstEng, deliverAt.Add(v.DupDelay), func() { d.dst.DeliverFrame(dup) })
 	}
 }
 
@@ -159,11 +195,23 @@ func DirectCable100G() LinkConfig {
 	return LinkConfig{BandwidthGbps: 100, Propagation: 150 * sim.Nanosecond}
 }
 
-// NewLink wires endpoints a and b together.
+// NewLink wires endpoints a and b together on one engine.
 func NewLink(eng *sim.Engine, cfg LinkConfig, a, b Endpoint, tracer *sim.Tracer) *Link {
+	return NewLinkOn(eng, eng, cfg, a, b, tracer)
+}
+
+// NewLinkOn wires endpoint a (living on engA) to endpoint b (living on
+// engB). When engA and engB are shards of one sim.ShardGroup this is
+// the cross-shard seam of the simulation: each direction serializes and
+// judges faults on its sending shard and delivers on the receiving
+// shard, and the propagation delay — the minimum time any frame spends
+// crossing — is the conservative lookahead bound that lets both shards
+// advance in parallel. With engA == engB it degenerates to the classic
+// single-engine link, byte-identical to the historical behaviour.
+func NewLinkOn(engA, engB *sim.Engine, cfg LinkConfig, a, b Endpoint, tracer *sim.Tracer) *Link {
 	return &Link{
-		a: &direction{eng: eng, wire: sim.NewSerializer(eng), gbps: cfg.BandwidthGbps, prop: cfg.Propagation, dst: b, tracer: tracer},
-		b: &direction{eng: eng, wire: sim.NewSerializer(eng), gbps: cfg.BandwidthGbps, prop: cfg.Propagation, dst: a, tracer: tracer},
+		a: newDirection(engA, engB, cfg.BandwidthGbps, cfg.Propagation, b, tracer),
+		b: newDirection(engB, engA, cfg.BandwidthGbps, cfg.Propagation, a, tracer),
 	}
 }
 
@@ -200,8 +248,11 @@ func (l *Link) AttachTelemetry(reg *telemetry.Registry, tb *telemetry.TraceBuffe
 		tb.NameThread(pid, traceTidAtoB, "a-to-b")
 		tb.NameThread(pid, traceTidBtoA, "b-to-a")
 	}
-	l.a.tb, l.a.pid, l.a.tid = tb, pid, traceTidAtoB
-	l.b.tb, l.b.pid, l.b.tid = tb, pid, traceTidBtoA
+	// Each direction traces into the segment of its sending engine, so a
+	// sharded link never writes one buffer from two goroutines. ForEngine
+	// is the identity on a single-engine link.
+	l.a.tb, l.a.pid, l.a.tid = tb.ForEngine(l.a.eng), pid, traceTidAtoB
+	l.b.tb, l.b.pid, l.b.tid = tb.ForEngine(l.b.eng), pid, traceTidBtoA
 }
 
 // Utilisations returns wire utilisation for both directions since time
@@ -237,6 +288,10 @@ func (l *Link) StatsBtoA() Stats { return l.b.stats }
 
 // UtilisationAtoB reports a→b wire utilisation since time zero.
 func (l *Link) UtilisationAtoB() float64 { return l.a.wire.Utilisation() }
+
+// UtilisationBtoA reports b→a wire utilisation since time zero. On a
+// sharded link this reads shard B's wire — only probe it from engine B.
+func (l *Link) UtilisationBtoA() float64 { return l.b.wire.Utilisation() }
 
 // Switch is a store-and-forward Ethernet switch that routes by
 // destination MAC. It exists for multi-node scenarios (e.g. shuffling
@@ -291,10 +346,9 @@ func (s *Switch) Dropped(mac packet.MAC) uint64 {
 // returns the transmit function the endpoint uses.
 func (s *Switch) AttachPort(mac packet.MAC, ep Endpoint) func(frame []byte) {
 	// Egress direction toward this endpoint.
-	s.ports[mac] = &egressPort{dir: &direction{
-		eng: s.eng, wire: sim.NewSerializer(s.eng),
-		gbps: s.cfg.BandwidthGbps, prop: s.cfg.Propagation, dst: ep, tracer: s.tracer,
-	}}
+	s.ports[mac] = &egressPort{dir: newDirection(
+		s.eng, s.eng, s.cfg.BandwidthGbps, s.cfg.Propagation, ep, s.tracer,
+	)}
 	ingress := sim.NewSerializer(s.eng)
 	return func(frame []byte) {
 		end := ingress.Reserve(sim.BytesAt(len(frame)+packet.EthFramingOverhead, s.cfg.BandwidthGbps))

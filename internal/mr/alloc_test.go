@@ -1,0 +1,27 @@
+package mr
+
+import "testing"
+
+// MR validation runs once per arriving request packet, so its success
+// path must not allocate. (The failure path builds a *Fault — that is
+// the slow path by construction and is exempt.)
+
+func TestAllocsCheckRemoteSuccess(t *testing.T) {
+	tbl := NewTable()
+	r, err := tbl.Register(0x10000, 0x1000, AccessFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rkey := r.RKey()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if f := tbl.CheckRemote(rkey, 0x10100, 256, AccessRemoteWrite); f != nil {
+			t.Fatalf("unexpected fault: %v", f)
+		}
+		if f := tbl.CheckVA(0x10100, 256, AccessLocal); f != nil {
+			t.Fatalf("unexpected fault: %v", f)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("MR validation success path allocates %v times per check, want 0", allocs)
+	}
+}

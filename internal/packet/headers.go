@@ -102,6 +102,28 @@ type Packet struct {
 	RETH    *RETH
 	AETH    *AETH
 	Payload []byte
+
+	// Inline storage for the optional headers, used by DecodeInto and
+	// SetAck so a reused scratch Packet parses and builds packets
+	// without allocating. RETH/AETH point here when set by those paths.
+	rethStore RETH
+	aethStore AETH
+}
+
+// SetAck fills p as an ACK (or NAK, depending on syndrome) packet,
+// reusing p's inline AETH storage: the allocation-free counterpart of
+// the Ack constructor for responder scratch packets.
+func (p *Packet) SetAck(destQP, psn uint32, syndrome uint8, msn uint32) *Packet {
+	p.Reset()
+	p.BTH = BTH{Opcode: OpAcknowledge, DestQP: destQP, PSN: psn}
+	p.aethStore = AETH{Syndrome: syndrome, MSN: msn}
+	p.AETH = &p.aethStore
+	return p
+}
+
+// Reset clears p for reuse without dropping its inline header storage.
+func (p *Packet) Reset() {
+	*p = Packet{}
 }
 
 // ibLen returns the length of the IB portion (BTH..ICRC).
@@ -240,30 +262,46 @@ var (
 )
 
 // Decode parses an encoded frame. It performs exactly the checks the RX
-// pipeline performs: IPv4 checksum, UDP port, ICRC (§4.1).
+// pipeline performs: IPv4 checksum, UDP port, ICRC (§4.1). The returned
+// packet owns its payload (copied out of buf).
 func Decode(buf []byte) (*Packet, error) {
-	if len(buf) < EthHeaderLen+IPv4HeaderLen+UDPHeaderLen+BTHLen+ICRCLen {
-		return nil, ErrTruncated
-	}
 	p := &Packet{}
+	if err := DecodeInto(p, buf); err != nil {
+		return nil, err
+	}
+	p.Payload = append([]byte(nil), p.Payload...)
+	return p, nil
+}
+
+// DecodeInto parses an encoded frame into p without allocating: the
+// optional headers land in p's inline storage and Payload aliases buf.
+// This is the RX hot path — p is typically a per-stack scratch reused
+// for every received frame. The parse is only valid until buf is
+// recycled or p is reused; consumers that retain the payload must copy
+// it first (the DMA and kernel-dispatch layers already do).
+func DecodeInto(p *Packet, buf []byte) error {
+	p.Reset()
+	if len(buf) < EthHeaderLen+IPv4HeaderLen+UDPHeaderLen+BTHLen+ICRCLen {
+		return ErrTruncated
+	}
 	copy(p.DstMAC[:], buf[0:6])
 	copy(p.SrcMAC[:], buf[6:12])
 	if binary.BigEndian.Uint16(buf[12:14]) != EtherTypeIPv4 {
-		return nil, ErrNotIPv4
+		return ErrNotIPv4
 	}
 	ip := buf[EthHeaderLen:]
 	if ip[0] != 0x45 {
-		return nil, ErrNotIPv4
+		return ErrNotIPv4
 	}
 	if ipChecksum(ip[:IPv4HeaderLen]) != 0 {
-		return nil, ErrIPChecksum
+		return ErrIPChecksum
 	}
 	if ip[9] != 17 {
-		return nil, ErrNotUDP
+		return ErrNotUDP
 	}
 	totalLen := int(binary.BigEndian.Uint16(ip[2:4]))
 	if totalLen < IPv4HeaderLen+UDPHeaderLen+BTHLen+ICRCLen || EthHeaderLen+totalLen > len(buf) {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	p.TTL = ip[8]
 	p.SrcIP = IPv4(binary.BigEndian.Uint32(ip[12:16]))
@@ -272,17 +310,17 @@ func Decode(buf []byte) (*Packet, error) {
 	p.SrcPort = binary.BigEndian.Uint16(udp[0:2])
 	p.DstPort = binary.BigEndian.Uint16(udp[2:4])
 	if p.DstPort != RoCEPort {
-		return nil, ErrNotRoCE
+		return ErrNotRoCE
 	}
 	udpLen := int(binary.BigEndian.Uint16(udp[4:6]))
 	if udpLen != totalLen-IPv4HeaderLen {
-		return nil, ErrBadPayload
+		return ErrBadPayload
 	}
 	ib := udp[UDPHeaderLen:udpLen]
 	// ICRC first: a corrupt packet must not be interpreted at all.
 	wantICRC := binary.BigEndian.Uint32(ib[len(ib)-ICRCLen:])
 	if crc.Checksum32(ib[:len(ib)-ICRCLen]) != wantICRC {
-		return nil, ErrBadICRC
+		return ErrBadICRC
 	}
 	// BTH.
 	p.BTH.Opcode = Opcode(ib[0])
@@ -295,32 +333,34 @@ func Decode(buf []byte) (*Packet, error) {
 	off := BTHLen
 	op := p.BTH.Opcode
 	if !op.Valid() {
-		return nil, ErrUnknownOp
+		return ErrUnknownOp
 	}
 	if op.HasRETH() {
 		if len(ib) < off+RETHLen+ICRCLen {
-			return nil, ErrTruncated
+			return ErrTruncated
 		}
-		p.RETH = &RETH{
+		p.rethStore = RETH{
 			VirtualAddress: binary.BigEndian.Uint64(ib[off : off+8]),
 			RKey:           binary.BigEndian.Uint32(ib[off+8 : off+12]),
 			DMALength:      binary.BigEndian.Uint32(ib[off+12 : off+16]),
 		}
+		p.RETH = &p.rethStore
 		off += RETHLen
 	}
 	if op.HasAETH() {
 		if len(ib) < off+AETHLen+ICRCLen {
-			return nil, ErrTruncated
+			return ErrTruncated
 		}
 		w := binary.BigEndian.Uint32(ib[off : off+4])
-		p.AETH = &AETH{Syndrome: uint8(w >> 24), MSN: w & 0xFFFFFF}
+		p.aethStore = AETH{Syndrome: uint8(w >> 24), MSN: w & 0xFFFFFF}
+		p.AETH = &p.aethStore
 		off += AETHLen
 	}
-	p.Payload = append([]byte(nil), ib[off:len(ib)-ICRCLen]...)
+	p.Payload = ib[off : len(ib)-ICRCLen]
 	if !op.HasPayload() && len(p.Payload) != 0 {
-		return nil, ErrBadPayload
+		return ErrBadPayload
 	}
-	return p, nil
+	return nil
 }
 
 // ipChecksum computes the 16-bit one's-complement IPv4 header checksum.

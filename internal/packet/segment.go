@@ -16,59 +16,79 @@ const (
 	KindRPCWrite                    // RDMA RPC WRITE (payload forwarded to kernel)
 )
 
+// segOpcodes maps a message kind to its First/Middle/Last/Only opcodes.
+func segOpcodes(kind MessageKind) (first, middle, last, only Opcode, err error) {
+	switch kind {
+	case KindWrite:
+		return OpWriteFirst, OpWriteMiddle, OpWriteLast, OpWriteOnly, nil
+	case KindRPCWrite:
+		return OpRPCWriteFirst, OpRPCWriteMiddle, OpRPCWriteLast, OpRPCWriteOnly, nil
+	default:
+		return 0, 0, 0, 0, fmt.Errorf("packet: unknown message kind %d", kind)
+	}
+}
+
+// ValidateSegmentation vets the (kind, MTU) pair before a segmentation
+// loop built on FillSegment, so hot paths can fail fast without
+// creating any per-message state.
+func ValidateSegmentation(kind MessageKind, mtuPayload int) error {
+	if mtuPayload <= 0 {
+		return fmt.Errorf("packet: invalid MTU payload %d", mtuPayload)
+	}
+	_, _, _, _, err := segOpcodes(kind)
+	return err
+}
+
+// FillSegment builds segment i of n (n = NumSegments(len(payload),
+// mtuPayload)) into scratch, reusing its inline RETH storage: the
+// allocation-free core of the TX segmentation path. Arguments must
+// have passed ValidateSegmentation. The RETH travels on the first
+// packet only; the PSN increments per segment; the payload slice
+// aliases the message payload. The scratch packet is only valid until
+// the next FillSegment on it — the TX pipeline encodes it immediately.
+func FillSegment(scratch *Packet, kind MessageKind, destQP uint32, psn uint32, reth RETH, payload []byte, mtuPayload, i, n int) *Packet {
+	first, middle, last, only, _ := segOpcodes(kind)
+	lo := i * mtuPayload
+	hi := lo + mtuPayload
+	if hi > len(payload) {
+		hi = len(payload)
+	}
+	var op Opcode
+	switch {
+	case n == 1:
+		op = only
+	case i == 0:
+		op = first
+	case i == n-1:
+		op = last
+	default:
+		op = middle
+	}
+	scratch.Reset()
+	scratch.BTH = BTH{Opcode: op, DestQP: destQP, PSN: (psn + uint32(i)) & 0xFFFFFF, AckReq: i == n-1}
+	scratch.Payload = payload[lo:hi]
+	if op.HasRETH() {
+		scratch.rethStore = reth
+		scratch.RETH = &scratch.rethStore
+	}
+	return scratch
+}
+
 // Segment splits a message payload into the packet sequence the TX
 // pipeline generates: First/Middle.../Last for multi-packet messages, or a
 // single Only packet. The RETH travels on the first packet only; the PSN
 // increments per packet. Returned packets share the payload's backing
-// array (the caller encodes them immediately).
+// array (the caller encodes them immediately). Hot paths use
+// FillSegment with a scratch packet instead; this allocating form
+// remains for tests and the trace tooling.
 func Segment(kind MessageKind, destQP uint32, psn uint32, reth RETH, payload []byte, mtuPayload int) ([]*Packet, error) {
-	if mtuPayload <= 0 {
-		return nil, fmt.Errorf("packet: invalid MTU payload %d", mtuPayload)
+	if err := ValidateSegmentation(kind, mtuPayload); err != nil {
+		return nil, err
 	}
-	if len(payload) == 0 && kind == KindWrite {
-		// Zero-length writes are legal (used as doorbells); emit one Only.
-		payload = []byte{}
-	}
-	var first, middle, last, only Opcode
-	switch kind {
-	case KindWrite:
-		first, middle, last, only = OpWriteFirst, OpWriteMiddle, OpWriteLast, OpWriteOnly
-	case KindRPCWrite:
-		first, middle, last, only = OpRPCWriteFirst, OpRPCWriteMiddle, OpRPCWriteLast, OpRPCWriteOnly
-	default:
-		return nil, fmt.Errorf("packet: unknown message kind %d", kind)
-	}
-	n := (len(payload) + mtuPayload - 1) / mtuPayload
-	if n == 0 {
-		n = 1
-	}
+	n := NumSegments(len(payload), mtuPayload)
 	pkts := make([]*Packet, 0, n)
 	for i := 0; i < n; i++ {
-		lo := i * mtuPayload
-		hi := lo + mtuPayload
-		if hi > len(payload) {
-			hi = len(payload)
-		}
-		var op Opcode
-		switch {
-		case n == 1:
-			op = only
-		case i == 0:
-			op = first
-		case i == n-1:
-			op = last
-		default:
-			op = middle
-		}
-		pkt := &Packet{
-			BTH:     BTH{Opcode: op, DestQP: destQP, PSN: (psn + uint32(i)) & 0xFFFFFF, AckReq: i == n-1},
-			Payload: payload[lo:hi],
-		}
-		if op.HasRETH() {
-			r := reth
-			pkt.RETH = &r
-		}
-		pkts = append(pkts, pkt)
+		pkts = append(pkts, FillSegment(&Packet{}, kind, destQP, psn, reth, payload, mtuPayload, i, n))
 	}
 	return pkts, nil
 }
@@ -104,38 +124,47 @@ func Ack(destQP, psn uint32, syndrome uint8, msn uint32) *Packet {
 	}
 }
 
-// ReadResponse segments READ response data into response packets.
-func ReadResponse(destQP, psn uint32, msn uint32, payload []byte, mtuPayload int) []*Packet {
-	n := (len(payload) + mtuPayload - 1) / mtuPayload
-	if n == 0 {
-		n = 1
+// FillReadResponse builds READ-response segment i of n (n =
+// NumSegments(len(payload), mtuPayload)) into scratch, reusing its
+// inline AETH storage — the allocation-free core of the responder read
+// path. The payload slice aliases the read data; the scratch packet is
+// only valid until the next fill on it (the responder encodes it
+// immediately).
+func FillReadResponse(scratch *Packet, destQP, psn uint32, msn uint32, payload []byte, mtuPayload, i, n int) *Packet {
+	lo := i * mtuPayload
+	hi := lo + mtuPayload
+	if hi > len(payload) {
+		hi = len(payload)
 	}
+	var op Opcode
+	switch {
+	case n == 1:
+		op = OpReadRespOnly
+	case i == 0:
+		op = OpReadRespFirst
+	case i == n-1:
+		op = OpReadRespLast
+	default:
+		op = OpReadRespMiddle
+	}
+	scratch.Reset()
+	scratch.BTH = BTH{Opcode: op, DestQP: destQP, PSN: (psn + uint32(i)) & 0xFFFFFF}
+	scratch.Payload = payload[lo:hi]
+	if op.HasAETH() {
+		scratch.aethStore = AETH{Syndrome: SynACK, MSN: msn}
+		scratch.AETH = &scratch.aethStore
+	}
+	return scratch
+}
+
+// ReadResponse segments READ response data into response packets. Hot
+// paths use FillReadResponse with a scratch packet instead; this
+// allocating form remains for tests.
+func ReadResponse(destQP, psn uint32, msn uint32, payload []byte, mtuPayload int) []*Packet {
+	n := NumSegments(len(payload), mtuPayload)
 	pkts := make([]*Packet, 0, n)
 	for i := 0; i < n; i++ {
-		lo := i * mtuPayload
-		hi := lo + mtuPayload
-		if hi > len(payload) {
-			hi = len(payload)
-		}
-		var op Opcode
-		switch {
-		case n == 1:
-			op = OpReadRespOnly
-		case i == 0:
-			op = OpReadRespFirst
-		case i == n-1:
-			op = OpReadRespLast
-		default:
-			op = OpReadRespMiddle
-		}
-		pkt := &Packet{
-			BTH:     BTH{Opcode: op, DestQP: destQP, PSN: (psn + uint32(i)) & 0xFFFFFF},
-			Payload: payload[lo:hi],
-		}
-		if op.HasAETH() {
-			pkt.AETH = &AETH{Syndrome: SynACK, MSN: msn}
-		}
-		pkts = append(pkts, pkt)
+		pkts = append(pkts, FillReadResponse(&Packet{}, destQP, psn, msn, payload, mtuPayload, i, n))
 	}
 	return pkts
 }

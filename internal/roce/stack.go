@@ -119,13 +119,42 @@ type Stack struct {
 	// frozen marks the whole stack dead (machine crash, see recovery.go):
 	// every post fails and every received frame is discarded.
 	frozen bool
+
+	// Scratch packets for the zero-alloc hot path: rxPkt is reparsed for
+	// every received frame (DecodeInto), ackPkt rebuilt for every
+	// transient ACK/NAK (SetAck), txPkt for every outgoing request
+	// segment (FillSegment). Each is only live within one synchronous
+	// processing step, which is what makes reuse safe.
+	rxPkt  packet.Packet
+	ackPkt packet.Packet
+	txPkt  packet.Packet
+
+	// Drain queues for the per-frame pipeline completions: pushes pair
+	// 1:1 with scheduled drain callbacks, which the engine fires in push
+	// order (serializer reservations are monotone), so no per-frame
+	// closure is ever allocated. The drain funcs are bound once here.
+	txq       sim.FIFO[txDone]
+	rxq       sim.FIFO[[]byte]
+	txDrainFn func()
+	rxDrainFn func()
+
+	// Free list for pendingPacket bookkeeping entries, recycled when the
+	// cumulative-ACK path retires them.
+	ppFree []*pendingPacket
+}
+
+// txDone is one queued TX-pipeline completion.
+type txDone struct {
+	st      *qpState
+	frame   []byte
+	recycle bool
 }
 
 // NewStack builds a stack. transmit pushes encoded frames into the
 // fabric; handler receives responder-side operations.
 func NewStack(eng *sim.Engine, cfg Config, id Identity, handler Handler, transmit func([]byte), tracer *sim.Tracer) *Stack {
 	valid, _ := handler.(AccessValidator)
-	return &Stack{
+	s := &Stack{
 		eng:      eng,
 		cfg:      cfg,
 		id:       id,
@@ -139,6 +168,9 @@ func NewStack(eng *sim.Engine, cfg Config, id Identity, handler Handler, transmi
 		txPath:   sim.NewSerializer(eng),
 		timers:   make([]sim.Event, cfg.NumQPs),
 	}
+	s.txDrainFn = s.drainTx
+	s.rxDrainFn = s.drainRx
+	return s
 }
 
 // Config returns the stack configuration.
@@ -195,18 +227,25 @@ func (s *Stack) address(st *qpState, pkt *packet.Packet) {
 // back to the pool once transmitted (the fabric copies frames on send).
 func (s *Stack) sendFrame(st *qpState, frame []byte, words int, recycle bool) {
 	end := s.txPath.Reserve(s.cfg.Cycles(words))
-	s.eng.ScheduleAt(end.Add(s.cfg.Cycles(s.cfg.TxFixedCycles)), func() {
-		s.stats.TxPackets++
-		s.stats.TxBytes += uint64(len(frame))
-		st.progress++
-		if s.tb != nil {
-			s.traceFrame(traceTidTx, "tx", frame)
-		}
-		s.transmit(frame)
-		if recycle {
-			packet.PutBuf(frame)
-		}
-	})
+	s.txq.Push(txDone{st: st, frame: frame, recycle: recycle})
+	s.eng.ScheduleAt(end.Add(s.cfg.Cycles(s.cfg.TxFixedCycles)), s.txDrainFn)
+}
+
+// drainTx completes the oldest queued TX-pipeline reservation. TX
+// completion times are non-decreasing in push order, so the engine
+// fires these in exactly push order (see sim.FIFO).
+func (s *Stack) drainTx() {
+	d := s.txq.Pop()
+	s.stats.TxPackets++
+	s.stats.TxBytes += uint64(len(d.frame))
+	d.st.progress++
+	if s.tb != nil {
+		s.traceFrame(traceTidTx, "tx", d.frame)
+	}
+	s.transmit(d.frame)
+	if d.recycle {
+		packet.PutBuf(d.frame)
+	}
 }
 
 // retransmitFrame re-sends a stored frame.
@@ -284,26 +323,49 @@ func (s *Stack) postSegmented(qpn uint32, kind packet.MessageKind, reth packet.R
 		// RPC op-code in the RETH address field and never use keys.
 		reth.RKey = st.remoteRKey
 	}
-	opID := s.newOp(st)
-	pkts, err := packet.Segment(kind, st.remoteQPN, st.nextPSN, reth, data, s.cfg.MTUPayload)
-	if err != nil {
+	// Validate before creating any message state so invalid segmentation
+	// parameters leave no observer or deadline state behind.
+	if err := packet.ValidateSegmentation(kind, s.cfg.MTUPayload); err != nil {
 		return err
 	}
+	opID := s.newOp(st)
+	nseg := packet.NumSegments(len(data), s.cfg.MTUPayload)
 	msg := &outMessage{kind: kind, complete: done}
 	s.instrumentMsg(qpn, opID, kindName(kind), msg)
 	s.armDeadline(msg, deadline)
-	for i, pkt := range pkts {
+	for i := 0; i < nseg; i++ {
+		pkt := packet.FillSegment(&s.txPkt, kind, st.remoteQPN, st.nextPSN, reth, data, s.cfg.MTUPayload, i, nseg)
 		if s.obs != nil {
 			s.obs.TxRequest(qpn, pkt.BTH.PSN, 1, pkt.BTH.Opcode, false)
 		}
 		frame := s.send(st, pkt)
-		st.pending = append(st.pending, &pendingPacket{
-			psn: pkt.BTH.PSN, npsn: 1, frame: frame, msg: msg, lastOf: i == len(pkts)-1,
-		})
+		pp := s.newPending()
+		pp.psn, pp.npsn, pp.frame, pp.msg, pp.lastOf = pkt.BTH.PSN, 1, frame, msg, i == nseg-1
+		st.pending = append(st.pending, pp)
 	}
-	st.nextPSN = psnAdd(st.nextPSN, uint32(len(pkts)))
+	st.nextPSN = psnAdd(st.nextPSN, uint32(nseg))
 	s.armTimer(qpn, st)
 	return nil
+}
+
+// newPending takes a pendingPacket from the free list (see freePending).
+func (s *Stack) newPending() *pendingPacket {
+	if n := len(s.ppFree); n > 0 {
+		p := s.ppFree[n-1]
+		s.ppFree[n-1] = nil
+		s.ppFree = s.ppFree[:n-1]
+		return p
+	}
+	return &pendingPacket{}
+}
+
+// freePending recycles an entry the ACK path removed from a pending
+// list. Only entries no longer reachable from any qpState may be freed.
+func (s *Stack) freePending(p *pendingPacket) {
+	*p = pendingPacket{}
+	if len(s.ppFree) < 1<<14 {
+		s.ppFree = append(s.ppFree, p)
+	}
 }
 
 // PostRPC issues an RDMA RPC: a single Params packet carrying the kernel
@@ -334,7 +396,9 @@ func (s *Stack) PostRPCDeadline(qpn uint32, rpcOp uint64, params []byte, deadlin
 		s.obs.TxRequest(qpn, pkt.BTH.PSN, 1, pkt.BTH.Opcode, false)
 	}
 	frame := s.send(st, pkt)
-	st.pending = append(st.pending, &pendingPacket{psn: pkt.BTH.PSN, npsn: 1, frame: frame, msg: msg, lastOf: true})
+	pp := s.newPending()
+	pp.psn, pp.npsn, pp.frame, pp.msg, pp.lastOf = pkt.BTH.PSN, 1, frame, msg, true
+	st.pending = append(st.pending, pp)
 	st.nextPSN = psnAdd(st.nextPSN, 1)
 	s.armTimer(qpn, st)
 	return nil
@@ -426,7 +490,9 @@ func (s *Stack) postRead(qpn uint32, reth packet.RETH, deadline sim.Time, sink R
 	}
 	frame := s.send(st, pkt)
 	elem.ReqFrame = frame
-	st.pending = append(st.pending, &pendingPacket{psn: st.nextPSN, npsn: npsn, frame: frame, msg: msg, isRead: true})
+	pp := s.newPending()
+	pp.psn, pp.npsn, pp.frame, pp.msg, pp.isRead = st.nextPSN, npsn, frame, msg, true
+	st.pending = append(st.pending, pp)
 	st.nextPSN = psnAdd(st.nextPSN, npsn)
 	s.armTimer(qpn, st)
 	return nil
@@ -441,15 +507,23 @@ func (s *Stack) postRead(qpn uint32, reth packet.RETH, deadline sim.Time, sink R
 func (s *Stack) DeliverFrame(frame []byte) {
 	words := (len(frame) + s.cfg.DataPathBytes - 1) / s.cfg.DataPathBytes
 	end := s.rxPath.Reserve(s.cfg.Cycles(words))
-	s.eng.ScheduleAt(end.Add(s.cfg.Cycles(s.cfg.RxFixedCycles)), func() { s.process(frame) })
+	s.rxq.Push(frame)
+	s.eng.ScheduleAt(end.Add(s.cfg.Cycles(s.cfg.RxFixedCycles)), s.rxDrainFn)
 }
 
+// drainRx processes the oldest frame queued into the RX pipeline (RX
+// completion times are non-decreasing in push order; see sim.FIFO).
+func (s *Stack) drainRx() { s.process(s.rxq.Pop()) }
+
 func (s *Stack) process(frame []byte) {
-	// Decode copies the payload out, so the frame buffer is dead once
-	// this packet has been handled.
+	// The parse lives in the stack's scratch packet and its payload
+	// aliases the frame buffer, so nothing allocates per packet; every
+	// consumer that outlives this call (DMA writes, kernel dispatch)
+	// copies the bytes it keeps before the frame returns to the pool.
 	defer packet.PutBuf(frame)
 	s.stats.RxBytes += uint64(len(frame))
-	pkt, err := packet.Decode(frame)
+	pkt := &s.rxPkt
+	err := packet.DecodeInto(pkt, frame)
 	if err != nil {
 		// The Packet Dropper discards malformed packets; reliability
 		// recovers via retransmission.
@@ -495,7 +569,7 @@ func (s *Stack) handleRequest(qpn uint32, st *qpState, pkt *packet.Packet) {
 		if !st.nakSent {
 			st.nakSent = true
 			s.stats.NaksSent++
-			s.sendTransient(st, packet.Ack(st.remoteQPN, st.ePSN, packet.SynNAKSequence, st.msn))
+			s.sendTransient(st, s.ackPkt.SetAck(st.remoteQPN, st.ePSN, packet.SynNAKSequence, st.msn))
 		}
 		return
 	case d < 0:
@@ -528,7 +602,7 @@ func (s *Stack) handleRequest(qpn uint32, st *qpState, pkt *packet.Packet) {
 			}
 			return
 		}
-		s.sendTransient(st, packet.Ack(st.remoteQPN, psnAdd(st.ePSN, psnMask), packet.SynACK, st.msn))
+		s.sendTransient(st, s.ackPkt.SetAck(st.remoteQPN, psnAdd(st.ePSN, psnMask), packet.SynACK, st.msn))
 		s.stats.AcksSent++
 		return
 	}
@@ -587,7 +661,7 @@ func (s *Stack) handleRequest(qpn uint32, st *qpState, pkt *packet.Packet) {
 func (s *Stack) nakRemoteAccess(st *qpState, psn uint32) {
 	s.stats.NaksSent++
 	s.stats.NaksRemoteAccess++
-	s.sendTransient(st, packet.Ack(st.remoteQPN, psn, packet.SynNAKRemoteAccess, st.msn))
+	s.sendTransient(st, s.ackPkt.SetAck(st.remoteQPN, psn, packet.SynNAKRemoteAccess, st.msn))
 }
 
 func (s *Stack) execWrite(qpn uint32, st *qpState, pkt *packet.Packet) {
@@ -607,7 +681,7 @@ func (s *Stack) execWrite(qpn uint32, st *qpState, pkt *packet.Packet) {
 	}
 	if pkt.BTH.AckReq {
 		s.stats.AcksSent++
-		s.sendTransient(st, packet.Ack(st.remoteQPN, pkt.BTH.PSN, packet.SynACK, st.msn))
+		s.sendTransient(st, s.ackPkt.SetAck(st.remoteQPN, pkt.BTH.PSN, packet.SynACK, st.msn))
 	}
 }
 
@@ -622,7 +696,7 @@ func (s *Stack) execRPCWrite(qpn uint32, st *qpState, pkt *packet.Packet) {
 	err := s.handler.HandleRPCWrite(qpn, st.curRPCOp, pkt.Payload, last)
 	if err != nil {
 		s.stats.NaksSent++
-		s.sendTransient(st, packet.Ack(st.remoteQPN, pkt.BTH.PSN, packet.SynNAKInvalid, st.msn))
+		s.sendTransient(st, s.ackPkt.SetAck(st.remoteQPN, pkt.BTH.PSN, packet.SynNAKInvalid, st.msn))
 		return
 	}
 	if last {
@@ -630,7 +704,7 @@ func (s *Stack) execRPCWrite(qpn uint32, st *qpState, pkt *packet.Packet) {
 	}
 	if pkt.BTH.AckReq {
 		s.stats.AcksSent++
-		s.sendTransient(st, packet.Ack(st.remoteQPN, pkt.BTH.PSN, packet.SynACK, st.msn))
+		s.sendTransient(st, s.ackPkt.SetAck(st.remoteQPN, pkt.BTH.PSN, packet.SynACK, st.msn))
 	}
 }
 
@@ -641,19 +715,19 @@ func (s *Stack) execRPCParams(qpn uint32, st *qpState, pkt *packet.Packet) {
 		// No matching kernel and no CPU fallback: error back to the
 		// requesting node (§5.1).
 		s.stats.NaksSent++
-		s.sendTransient(st, packet.Ack(st.remoteQPN, pkt.BTH.PSN, packet.SynNAKInvalid, st.msn))
+		s.sendTransient(st, s.ackPkt.SetAck(st.remoteQPN, pkt.BTH.PSN, packet.SynNAKInvalid, st.msn))
 		return
 	}
 	st.msn = (st.msn + 1) & psnMask
 	s.stats.AcksSent++
-	s.sendTransient(st, packet.Ack(st.remoteQPN, pkt.BTH.PSN, packet.SynACK, st.msn))
+	s.sendTransient(st, s.ackPkt.SetAck(st.remoteQPN, pkt.BTH.PSN, packet.SynACK, st.msn))
 }
 
 func (s *Stack) executeRead(qpn uint32, st *qpState, va uint64, n int, respPSN uint32, dup bool) {
 	s.handler.HandleReadRequest(qpn, va, n, func(data []byte, err error) {
 		if err != nil {
 			s.stats.NaksSent++
-			s.sendTransient(st, packet.Ack(st.remoteQPN, respPSN, packet.SynNAKInvalid, st.msn))
+			s.sendTransient(st, s.ackPkt.SetAck(st.remoteQPN, respPSN, packet.SynNAKInvalid, st.msn))
 			return
 		}
 		if dup && s.dbg.CorruptDupRead && len(data) > 0 {
@@ -665,8 +739,9 @@ func (s *Stack) executeRead(qpn uint32, st *qpState, va uint64, n int, respPSN u
 		if s.obs != nil {
 			s.obs.RespReadData(qpn, respPSN, crc.Checksum64(data), len(data))
 		}
-		for _, rp := range packet.ReadResponse(st.remoteQPN, respPSN, st.msn, data, s.cfg.MTUPayload) {
-			s.sendTransient(st, rp)
+		n := packet.NumSegments(len(data), s.cfg.MTUPayload)
+		for i := 0; i < n; i++ {
+			s.sendTransient(st, packet.FillReadResponse(&s.txPkt, st.remoteQPN, respPSN, st.msn, data, s.cfg.MTUPayload, i, n))
 		}
 	})
 }
@@ -714,6 +789,7 @@ func (s *Stack) ackUpTo(qpn uint32, st *qpState, psn uint32) {
 			p.msg.finish(nil)
 		}
 		st.pending[k] = nil // release the frame for GC
+		s.freePending(p)
 		k++
 	}
 	if k > 0 {

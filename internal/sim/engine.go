@@ -90,6 +90,11 @@ type Engine struct {
 
 	// process support
 	running *Process
+
+	// shard support (see shard.go); zero values for standalone engines.
+	group     *ShardGroup
+	shardIdx  int32
+	windowEnd Time
 }
 
 // NewEngine returns an engine at time zero with a deterministic RNG seeded

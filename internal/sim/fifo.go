@@ -1,0 +1,37 @@
+package sim
+
+// FIFO is an amortized-zero-allocation queue. It backs the simulator's
+// drain-queue pattern: hot paths that previously scheduled a fresh
+// closure per item (capturing the item) instead push the item here and
+// schedule one pre-bound drain callback, which pops in FIFO order.
+// This is sound whenever the completion timestamps of a queue's items
+// are non-decreasing in push order (serializer reservations plus a
+// constant latency, as in the NIC TX/RX pipelines and fabric wires):
+// the engine then fires the drain events in exactly push order.
+//
+// The zero FIFO is ready to use. Not safe for concurrent use; each
+// FIFO belongs to one engine, like every simulated component.
+type FIFO[T any] struct {
+	buf  []T
+	head int
+}
+
+// Push appends v to the tail.
+func (f *FIFO[T]) Push(v T) { f.buf = append(f.buf, v) }
+
+// Pop removes and returns the head item. It panics on an empty FIFO —
+// a drain callback firing without a matching push is a scheduling bug.
+func (f *FIFO[T]) Pop() T {
+	v := f.buf[f.head]
+	var zero T
+	f.buf[f.head] = zero // release for GC
+	f.head++
+	if f.head == len(f.buf) {
+		f.buf = f.buf[:0]
+		f.head = 0
+	}
+	return v
+}
+
+// Len reports the number of queued items.
+func (f *FIFO[T]) Len() int { return len(f.buf) - f.head }

@@ -1,0 +1,46 @@
+package telemetry
+
+import "testing"
+
+// The single-writer-per-handle contract (see Registry) assumes hot
+// paths resolve a metric once and then drive the held handle. These
+// guards pin the held-handle operations at zero allocations — the part
+// that runs per packet / per sample — while resolution (label
+// formatting, map insert) stays off the hot path by design.
+
+func TestAllocsHeldHandles(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_counter", L("nic", "A"))
+	g := reg.Gauge("test_gauge", L("nic", "A"))
+	h := reg.Histogram("test_hist", "ps", L("nic", "A"))
+	// Warm the histogram so bucket growth has settled.
+	for i := int64(1); i < 1<<20; i <<= 1 {
+		h.ObserveInt(i)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(3)
+		c.Inc()
+		g.Set(4.5)
+		h.ObserveInt(4096)
+	})
+	if allocs != 0 {
+		t.Fatalf("held-handle metric ops allocate %v times per round, want 0", allocs)
+	}
+}
+
+func TestAllocsResolvedLookup(t *testing.T) {
+	// Re-resolving an existing metric is not the packet path, but probes
+	// do it per tick; it must stay cheap — read-locked map hit, no
+	// metric-side allocation beyond the label-key formatting done by the
+	// caller. Holding the labels constant, the lookup itself must not
+	// allocate more than the variadic slice the call site builds.
+	reg := NewRegistry()
+	lbl := L("nic", "A")
+	reg.Counter("test_counter", lbl)
+	allocs := testing.AllocsPerRun(1000, func() {
+		reg.Counter("test_counter", lbl).Inc()
+	})
+	if allocs > 2 {
+		t.Fatalf("resolved Counter lookup allocates %v times, want <= 2", allocs)
+	}
+}

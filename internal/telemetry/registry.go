@@ -3,6 +3,7 @@ package telemetry
 import (
 	"encoding/json"
 	"io"
+	"sync"
 )
 
 // Counter is a monotonically increasing value. The nil Counter discards
@@ -56,16 +57,22 @@ func (g *Gauge) Value() float64 {
 	return g.v
 }
 
-// Registry is a label-keyed collection of metrics. It is not safe for
-// concurrent use: like every simulated component, a registry belongs to
-// one engine and is only touched from that engine's event callbacks (or
-// from the single goroutine that owns the run). Distinct registries on
-// distinct engines are fully independent, which is what keeps `-j N`
-// harness runs byte-identical.
+// Registry is a label-keyed collection of metrics.
+//
+// Handle resolution (Counter/Gauge/Histogram lookups) is guarded by a
+// mutex so shards of one sim.ShardGroup may resolve handles from their
+// own goroutines. The metric values themselves are deliberately plain
+// fields: the shard contract is single-writer-per-handle — every metric
+// key (distinguished by nic/direction labels) is written by exactly one
+// shard, and the group's window barriers provide the happens-before
+// edge that makes all writes visible to the exporting goroutine after
+// Run returns. Components that share a key across shards are a bug the
+// race detector catches in `make check`.
 //
 // The nil *Registry is valid and inert: metric constructors return nil
 // handles and OnCollect/Collect do nothing.
 type Registry struct {
+	mu         sync.RWMutex
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
@@ -82,13 +89,23 @@ func NewRegistry() *Registry {
 }
 
 // Counter returns the counter for name+labels, creating it on first use.
+// Resolution allocates (the canonical key); hot paths must resolve once
+// at attach time and hold the handle — Add on a held handle is
+// allocation-free.
 func (r *Registry) Counter(name string, labels ...Label) *Counter {
 	if r == nil {
 		return nil
 	}
 	k := metricKey(name, labels)
+	r.mu.RLock()
 	c, ok := r.counters[k]
-	if !ok {
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[k]; !ok {
 		c = &Counter{}
 		r.counters[k] = c
 	}
@@ -101,8 +118,15 @@ func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 		return nil
 	}
 	k := metricKey(name, labels)
+	r.mu.RLock()
 	g, ok := r.gauges[k]
-	if !ok {
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[k]; !ok {
 		g = &Gauge{}
 		r.gauges[k] = g
 	}
@@ -117,8 +141,15 @@ func (r *Registry) Histogram(name, unit string, labels ...Label) *Histogram {
 		return nil
 	}
 	k := metricKey(name, labels)
+	r.mu.RLock()
 	h, ok := r.histograms[k]
-	if !ok {
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.histograms[k]; !ok {
 		h = &Histogram{unit: unit}
 		r.histograms[k] = h
 	}
@@ -132,7 +163,9 @@ func (r *Registry) OnCollect(fn func()) {
 	if r == nil || fn == nil {
 		return
 	}
+	r.mu.Lock()
 	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
 }
 
 // Collect runs the registered collect callbacks.
@@ -140,7 +173,10 @@ func (r *Registry) Collect() {
 	if r == nil {
 		return
 	}
-	for _, fn := range r.collectors {
+	r.mu.RLock()
+	collectors := r.collectors
+	r.mu.RUnlock()
+	for _, fn := range collectors {
 		fn()
 	}
 }

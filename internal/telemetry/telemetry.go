@@ -18,10 +18,7 @@
 // regardless of harness parallelism.
 package telemetry
 
-import (
-	"sort"
-	"strings"
-)
+import "strings"
 
 // Label is one key=value dimension of a metric.
 type Label struct {
@@ -39,12 +36,23 @@ func metricKey(name string, labels []Label) string {
 	if len(labels) == 0 {
 		return name
 	}
-	ls := append([]Label(nil), labels...)
-	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	// The variadic slice is freshly built by the call site, so it can be
+	// sorted in place; insertion sort keeps tiny label sets (the only
+	// kind that exists) free of sort.Slice's closure allocation.
+	for i := 1; i < len(labels); i++ {
+		for j := i; j > 0 && labels[j].Key < labels[j-1].Key; j-- {
+			labels[j], labels[j-1] = labels[j-1], labels[j]
+		}
+	}
 	var b strings.Builder
+	n := len(name) + 2
+	for _, l := range labels {
+		n += len(l.Key) + len(l.Value) + 2
+	}
+	b.Grow(n)
 	b.WriteString(name)
 	b.WriteByte('{')
-	for i, l := range ls {
+	for i, l := range labels {
 		if i > 0 {
 			b.WriteByte(',')
 		}
