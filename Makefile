@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race cover recovery protect determinism fuzz bench bench-diff
+.PHONY: check vet build test race cover recovery protect determinism fuzz bench bench-diff soak
 
 # check is the everyday gate: build plus the full -race suite, which
 # includes the sharded determinism tests (TestSharded* in
@@ -16,9 +16,12 @@ build:
 
 # test is the tier-1 gate: vet plus the full suite under the race
 # detector (the parallel experiment harness and the concurrent telemetry
-# determinism tests make every package worth racing).
+# determinism tests make every package worth racing). The explicit
+# -timeout covers internal/experiments on a single-core host, where the
+# racing differential suite runs serially and overshoots go test's
+# default 600s per-package limit.
 test: vet
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 1800s ./...
 
 race: test
 
@@ -57,6 +60,21 @@ fuzz:
 	$(GO) test ./internal/roce -fuzz=FuzzQPStateMachine -fuzztime=10s
 	$(GO) test ./internal/roce -fuzz=FuzzRETHValidation -fuzztime=10s
 	$(GO) test ./internal/sim -fuzz=FuzzShardSchedule -fuzztime=10s
+	$(GO) test ./internal/telemetry/export -fuzz=FuzzEnvelopeRoundTrip -fuzztime=10s
+
+# soak runs the monitoring gate (DESIGN.md §14): the clean instrumented
+# scenario and the full quick chaos suite (sweeps + chaos scenario),
+# each streaming JSONL telemetry that stromtail then gates on. The
+# clean stream may only trip the loss-phase rules (out-discards,
+# fcs-err) and must trip out-discards (the 4% phase is deliberate); the
+# chaos stream must trip out-discards, remote-access and qp-errors, and
+# may additionally trip fcs-err and the no-progress watchdog. Any other
+# alert fails the target.
+soak:
+	$(GO) run ./cmd/strombench -quick -jsonl SOAK_clean.jsonl table1 > /dev/null
+	$(GO) run ./cmd/stromtail -allow 'out-discards|fcs-err' -require 'out-discards' SOAK_clean.jsonl
+	$(GO) run ./cmd/strombench -quick -chaos -jsonl SOAK_chaos.jsonl > /dev/null
+	$(GO) run ./cmd/stromtail -allow 'out-discards|fcs-err|remote-access|qp-errors|watchdog' -require 'out-discards|remote-access|qp-errors' SOAK_chaos.jsonl
 
 # bench runs the microbenchmarks (macro benches plus the scheduler,
 # telemetry, packet and roce hot paths), then records bench snapshots:

@@ -5,8 +5,8 @@
 //
 //	strombench -list
 //	strombench [-quick|-full] [-chaos] [-seed N] [-j N] [-shards N]
-//	           [-csv DIR] [-metrics FILE] [-trace FILE] [-bench FILE]
-//	           [-cpuprofile FILE] [-memprofile FILE] [exp ...]
+//	           [-csv DIR] [-metrics FILE] [-trace FILE] [-jsonl FILE]
+//	           [-bench FILE] [-cpuprofile FILE] [-memprofile FILE] [exp ...]
 //
 // With no experiment names, everything runs in paper order followed by
 // the ablations. Experiment names are table1, table2, table3, resources,
@@ -31,6 +31,13 @@
 // and Perfetto-compatible trace as JSON. The scenario runs on its own
 // engine seeded from -seed, so both files are byte-identical at every
 // -j value; load the trace file in ui.perfetto.dev or chrome://tracing.
+//
+// -jsonl streams the same scenario's telemetry as JSON Lines: periodic
+// health scrapes of both NIC ports and both link directions, registry
+// snapshots with deltas, and the sim-time alert engine's fire/resolve
+// events and final summaries — one envelope per line, byte-identical
+// at every -j and -shards value. Pipe the file through stromtail for a
+// rollup and the alert timeline.
 //
 // -shards N runs each testbed sharded: the two machines on separate
 // event-engine shards executed by up to N worker goroutines under
@@ -70,6 +77,7 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each figure as CSV into this directory")
 	metricsOut := flag.String("metrics", "", "write instrumented-scenario metrics JSON to this file")
 	traceOut := flag.String("trace", "", "write instrumented-scenario Perfetto trace JSON to this file")
+	jsonlOut := flag.String("jsonl", "", "stream instrumented-scenario telemetry (health scrapes, alerts) as JSON Lines to this file")
 	benchOut := flag.String("bench", "", "write a bench snapshot (wall clock + figure values) JSON to this file")
 	benchLabel := flag.String("benchlabel", "", "label stored in the -bench snapshot (default: snapshot file base name)")
 	benchNote := flag.String("benchnote", "", "free-form note stored in the -bench snapshot")
@@ -158,7 +166,7 @@ func main() {
 		fail(err)
 		return
 	}
-	if err := writeTelemetry(opts, *chaosSuite, *metricsOut, *traceOut); err != nil {
+	if err := writeTelemetry(opts, *chaosSuite, *metricsOut, *traceOut, *jsonlOut); err != nil {
 		fail(err)
 		return
 	}
@@ -207,12 +215,12 @@ func allGenerators() []experiments.Generator {
 
 // writeTelemetry runs the instrumented scenario once (the chaos one when
 // chaosSuite is set) and writes the requested exports. A no-op when
-// neither flag was given.
-func writeTelemetry(opts experiments.Options, chaosSuite bool, metricsPath, tracePath string) error {
-	if metricsPath == "" && tracePath == "" {
+// no export flag was given.
+func writeTelemetry(opts experiments.Options, chaosSuite bool, metricsPath, tracePath, jsonlPath string) error {
+	if metricsPath == "" && tracePath == "" && jsonlPath == "" {
 		return nil
 	}
-	var metricsW, traceW io.Writer
+	var metricsW, traceW, jsonlW io.Writer
 	var files []*os.File
 	open := func(path string) (io.Writer, error) {
 		f, err := os.Create(path)
@@ -233,11 +241,16 @@ func writeTelemetry(opts experiments.Options, chaosSuite bool, metricsPath, trac
 			return err
 		}
 	}
-	scenario := experiments.WriteTelemetry
-	if chaosSuite {
-		scenario = experiments.WriteChaosTelemetry
+	if jsonlPath != "" {
+		if jsonlW, err = open(jsonlPath); err != nil {
+			return err
+		}
 	}
-	err = scenario(opts, metricsW, traceW)
+	scenario := experiments.WriteTelemetryExports
+	if chaosSuite {
+		scenario = experiments.WriteChaosTelemetryExports
+	}
+	err = scenario(opts, metricsW, traceW, jsonlW)
 	for _, f := range files {
 		if cerr := f.Close(); err == nil {
 			err = cerr

@@ -1,0 +1,131 @@
+// Command stromtail post-processes a StRoM JSONL telemetry stream (the
+// file strombench -jsonl writes): it prints the per-object health
+// rollup, the alert timeline and the final alert summaries, and gates
+// on the alert engine's verdict.
+//
+// Usage:
+//
+//	stromtail [-allow REGEXP] [-require REGEXP] [-q] [FILE]
+//
+// With no FILE the stream is read from stdin, so it composes with
+// strombench as a pipeline stage. Exit status:
+//
+//	0  stream parsed; every fired alert matches -allow and every
+//	   -require rule fired
+//	1  an alert outside -allow fired, or a -require rule stayed silent
+//	2  usage or stream decode error
+//
+// -allow is the expected-alert allowlist (anchored match on the rule
+// name; empty = no alert may fire). -require asserts the other
+// direction: at least one rule matching it must have fired — how "make
+// soak" proves the chaos scenario actually drove the alert engine
+// instead of silently exporting nothing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+
+	"strom/internal/telemetry/export"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is main with its edges injected (tested in main_test.go).
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("stromtail", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	allow := fs.String("allow", "", "regexp of alert rules allowed to fire (anchored; empty = none)")
+	require := fs.String("require", "", "regexp of alert rules that must have fired (anchored)")
+	quiet := fs.Bool("q", false, "suppress the rollup, print only verdict lines")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 1 {
+		fmt.Fprintln(stderr, "usage: stromtail [-allow REGEXP] [-require REGEXP] [-q] [FILE]")
+		return 2
+	}
+
+	in := stdin
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintln(stderr, "stromtail:", err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+	}
+
+	anchored := func(expr string) (*regexp.Regexp, error) {
+		if expr == "" {
+			return nil, nil
+		}
+		return regexp.Compile(`\A(?:` + expr + `)\z`)
+	}
+	allowRe, err := anchored(*allow)
+	if err != nil {
+		fmt.Fprintln(stderr, "stromtail: -allow:", err)
+		return 2
+	}
+	requireRe, err := anchored(*require)
+	if err != nil {
+		fmt.Fprintln(stderr, "stromtail: -require:", err)
+		return 2
+	}
+
+	tail, err := export.ReadAll(in)
+	if err != nil {
+		fmt.Fprintln(stderr, "stromtail:", err)
+		return 2
+	}
+	if !*quiet {
+		tail.Render(stdout)
+	}
+
+	code := 0
+	if unexpected := tail.UnexpectedAlerts(allowRe); len(unexpected) > 0 {
+		fmt.Fprintf(stdout, "UNEXPECTED ALERTS: %v\n", unexpected)
+		code = 1
+	}
+	if requireRe != nil {
+		missing := requiredMissing(tail, requireRe)
+		if len(missing) > 0 {
+			fmt.Fprintf(stdout, "REQUIRED ALERTS SILENT: %v\n", missing)
+			code = 1
+		}
+	}
+	if code == 0 {
+		fmt.Fprintln(stdout, "OK")
+	}
+	return code
+}
+
+// requiredMissing lists the rules seen in the stream's summaries that
+// match require but never fired. A require pattern matching no rule at
+// all is also a failure — reported as the pattern itself — so a typo
+// in the pattern cannot silently pass the gate.
+func requiredMissing(tail *export.Tail, require *regexp.Regexp) []string {
+	matched := false
+	var missing []string
+	seen := make(map[string]bool)
+	for _, s := range tail.Summaries {
+		if !require.MatchString(s.Rule) || seen[s.Rule] {
+			continue
+		}
+		seen[s.Rule] = true
+		matched = true
+		if tail.Fired(s.Rule) == 0 {
+			missing = append(missing, s.Rule)
+		}
+	}
+	if !matched {
+		return []string{"<no rule matches " + require.String() + ">"}
+	}
+	return missing
+}

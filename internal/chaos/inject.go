@@ -181,6 +181,7 @@ func (d *dirState) judge(now sim.Time) fabric.Verdict {
 		d.st.FlapDropped++
 		d.record(Record{At: now, Where: d.where, Kind: KindFlap})
 		v.Drop = true
+		v.Cause = fabric.DropFlap
 		return v
 	}
 	f := &d.f
@@ -201,6 +202,7 @@ func (d *dirState) judge(now sim.Time) fabric.Verdict {
 			d.st.Dropped++
 			d.record(Record{At: now, Where: d.where, Kind: KindDrop})
 			v.Drop = true
+			v.Cause = fabric.DropChaos
 			return v
 		}
 	}

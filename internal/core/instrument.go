@@ -9,11 +9,12 @@ import (
 	"strom/internal/telemetry"
 )
 
-// Trace track (tid) layout inside a NIC's process (pid): tids 1-3 are the
-// RoCE stack's pipelines, 8-9 the DMA engine's streams, 16+qpn one lane
-// per queue pair (host-visible operations), 64+i one lane per deployed
-// kernel in rpcOp order.
+// Trace track (tid) layout inside a NIC's process (pid): tids 1-4 are the
+// RoCE stack's pipelines and log lane, 5 the NIC's own log lane, 8-9 the
+// DMA engine's streams, 16+qpn one lane per queue pair (host-visible
+// operations), 64+i one lane per deployed kernel in rpcOp order.
 const (
+	traceTidNicLog     = 5
 	traceTidQPBase     = 16
 	traceTidKernelBase = 64
 )
@@ -75,6 +76,7 @@ func (n *NIC) AttachTelemetry(reg *telemetry.Registry, tb *telemetry.TraceBuffer
 		qpSamp: make(map[uint32]*qpSampleHandles),
 	}
 	tb.NameProcess(pid, "nic:"+name)
+	tb.NameThread(pid, traceTidNicLog, "nic:log")
 	n.stack.AttachTelemetry(reg, tb, pid)
 	n.dma.AttachTelemetry(reg, tb, pid, name)
 	nic := telemetry.L("nic", name)
@@ -124,6 +126,17 @@ func (n *NIC) AttachTelemetry(reg *telemetry.Registry, tb *telemetry.TraceBuffer
 	if reg != nil {
 		n.tel.dbHist = reg.Histogram("doorbell_backlog_ps", "ps", nic)
 	}
+}
+
+// logf records a diagnostic on the NIC's log lane (structured tracing)
+// and forwards it through the deprecated sim.Tracer shim for callers
+// still on the legacy sink. name is the instant's short event name;
+// format/args carry the full message.
+func (n *NIC) logf(name, format string, args ...any) {
+	if t := n.tel; t != nil && t.tb != nil {
+		t.tb.Instant(t.pid, traceTidNicLog, "log", name, fmt.Sprintf(format, args...))
+	}
+	n.tracer.Logf(format, args...)
 }
 
 // qpTid returns the trace lane for a queue pair, naming it on first use.
@@ -185,6 +198,60 @@ func (n *NIC) instrumentOp(op string, qpn uint32, done func(error)) func(error) 
 			done(err)
 		}
 	}
+}
+
+// Health returns the NIC's scrapeable per-port health report, using the
+// switch-style error-counter names documented in
+// internal/telemetry/export (fcs_err for undecodable frames,
+// in_discards for frames arriving while crashed, stomped_crc for
+// duplicate READs whose payload identity could not be re-proven, ...).
+// It reads only this NIC's own state, so on a sharded testbed it is a
+// valid export.ScrapeFunc for a source registered on the NIC's engine.
+// Works with or without AttachTelemetry.
+func (n *NIC) Health() (map[string]uint64, map[string]float64) {
+	st := n.stack.Stats()
+	var mrTotal uint64
+	counters := map[string]uint64{
+		"in_frames":          st.RxPackets,
+		"in_bytes":           st.RxBytes,
+		"out_frames":         st.TxPackets,
+		"out_bytes":          st.TxBytes,
+		"fcs_err":            st.RxDiscarded,
+		"in_discards":        n.stats.FramesDroppedDown,
+		"stomped_crc":        st.DupReadCacheMiss,
+		"rcv_dup":            st.RxDuplicates,
+		"rcv_ooo":            st.RxOutOfOrder,
+		"acks_tx":            st.AcksSent,
+		"acks_rx":            st.AcksReceived,
+		"naks_tx":            st.NaksSent,
+		"naks_rx":            st.NaksReceived,
+		"retransmissions":    st.Retransmissions,
+		"timeouts":           st.Timeouts,
+		"deadline_expired":   st.DeadlineExpired,
+		"remote_access_naks": st.NaksRemoteAccess,
+		"qp_errors":          st.QPErrors,
+		"qp_resets":          st.QPResets,
+		"kernel_faults":      n.stats.KernelMRFaults,
+		"kernel_aborts":      n.stats.KernelAborts,
+		"dma_stalled":        n.dma.Stats().StalledCmds,
+		"ops_posted":         st.OpsPosted,
+		"ops_completed":      st.OpsCompleted,
+	}
+	for c := mr.Class(0); c < mr.NumClasses; c++ {
+		v := n.mrt.FailCount(c)
+		mrTotal += v
+		counters["mr_violation_"+c.String()] = v
+	}
+	counters["mr_violations"] = mrTotal
+	gauges := map[string]float64{
+		"outstanding_ops": float64(st.OpsPosted - st.OpsCompleted),
+	}
+	n.stack.EachActiveQP(func(qpn uint32) {
+		if state, err := n.stack.QPStateOf(qpn); err == nil {
+			gauges["qp"+strconv.FormatUint(uint64(qpn), 10)+"_state"] = float64(state)
+		}
+	})
+	return counters, gauges
 }
 
 // TelemetrySample records the NIC's instantaneous occupancy into the

@@ -166,7 +166,7 @@ func (c *Context) RDMARPC(qpn uint32, rpcOp uint64, params []byte, done func(err
 
 // Tracef logs into the NIC trace.
 func (c *Context) Tracef(format string, args ...any) {
-	c.nic.tracer.Logf("kernel[%s]: "+format, append([]any{c.name}, args...)...)
+	c.nic.logf("kernel:"+c.name, "kernel[%s]: "+format, append([]any{c.name}, args...)...)
 }
 
 // State marks an FSM state transition of the kernel's data-flow pipeline

@@ -153,7 +153,7 @@ func (n *NIC) DeliverFrame(frame []byte) {
 	}
 	if arp.IsARPFrame(frame) {
 		if err := n.arp.HandleFrame(frame); err != nil {
-			n.tracer.Logf("nic: arp: %v", err)
+			n.logf("arp", "nic: arp: %v", err)
 		}
 		packet.PutBuf(frame)
 		return
@@ -255,7 +255,7 @@ func (n *NIC) HandleWrite(qpn uint32, va uint64, data []byte, last bool) {
 	n.observeDMA(mr.AccessRemoteWrite, va, len(data))
 	n.dma.WriteHost(hostmem.Addr(va), data, func(err error) {
 		if err != nil {
-			n.tracer.Logf("nic: write DMA failed: %v", err)
+			n.logf("dma-fail", "nic: write DMA failed: %v", err)
 		}
 	})
 }
@@ -432,7 +432,7 @@ func (n *NIC) completeErr(done func(error), err error) {
 	if done != nil {
 		done(err)
 	} else {
-		n.tracer.Logf("nic: dropped error (no completion): %v", err)
+		n.logf("dropped-error", "nic: dropped error (no completion): %v", err)
 	}
 }
 

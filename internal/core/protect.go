@@ -125,7 +125,7 @@ func (n *NIC) ValidateRemote(qpn uint32, op packet.Opcode, reth packet.RETH) err
 		need = mr.AccessRemoteRead
 	}
 	if f := n.mrt.CheckRemote(reth.RKey, reth.VirtualAddress, uint64(reth.DMALength), need); f != nil {
-		n.tracer.Logf("nic: qp%d %v rejected: %v", qpn, op, f)
+		n.logf("mr-reject", "nic: qp%d %v rejected: %v", qpn, op, f)
 		return f
 	}
 	return nil
@@ -140,7 +140,7 @@ func (n *NIC) checkKernelDMA(va uint64, nbytes int) error {
 	}
 	if f := n.mrt.CheckVA(va, uint64(nbytes), mr.AccessKernel); f != nil {
 		n.stats.KernelMRFaults++
-		n.tracer.Logf("nic: kernel DMA rejected: %v", f)
+		n.logf("kernel-mr-fault", "nic: kernel DMA rejected: %v", f)
 		return f
 	}
 	return nil
@@ -182,7 +182,7 @@ func (n *NIC) PostReadKeyDeadline(qpn uint32, remoteVA, localVA uint64, rkey uin
 			n.observeDMA(mr.AccessLocal, localVA+uint64(off), len(chunk))
 			n.dma.WriteHost(hostmem.Addr(localVA)+hostmem.Addr(off), chunk, func(err error) {
 				if err != nil {
-					n.tracer.Logf("nic: read sink DMA failed: %v", err)
+					n.logf("dma-fail", "nic: read sink DMA failed: %v", err)
 				}
 				ack()
 			})

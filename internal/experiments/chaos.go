@@ -12,6 +12,7 @@ import (
 	"strom/internal/mr"
 	"strom/internal/sim"
 	"strom/internal/stats"
+	"strom/internal/telemetry/export"
 	"strom/internal/testrig"
 )
 
@@ -229,6 +230,19 @@ func chaosTelemetryPlan() chaos.Plan {
 // sent chasing a pointer into unregistered memory so the kernel sandbox
 // fires (kernel_mr_fault).
 func WriteChaosTelemetry(o Options, metricsW, traceW io.Writer) error {
+	return WriteChaosTelemetryExports(o, metricsW, traceW, nil)
+}
+
+// WriteChaosTelemetryExports is WriteChaosTelemetry plus the streaming
+// JSONL export (see WriteTelemetryExports). On this scenario the alert
+// engine is expected to fire: the chaos plan's loss bursts and flaps
+// trip out-discards (and usually fcs-err), the rogue requester trips
+// remote-access and qp-errors, and on seeds where loss bursts, DMA
+// stalls and rogue reconnects line up the no-progress watchdog
+// legitimately fires too (the workload can stall past the 2 ms hold).
+// A monitoring consumer (make soak, stromtail) allowlists exactly
+// those rules; anything else firing is a scenario regression.
+func WriteChaosTelemetryExports(o Options, metricsW, traceW, jsonlW io.Writer) error {
 	o = o.normalized()
 	pair, err := newPair(o.unsharded(), profile10G(), 8<<20)
 	if err != nil {
@@ -244,6 +258,11 @@ func WriteChaosTelemetry(o Options, metricsW, traceW io.Writer) error {
 		return err
 	}
 	tel := pair.Instrument()
+	var rec *export.Recorder
+	if jsonlW != nil {
+		rec = export.NewRecorder(export.DefaultRules())
+		pair.RecordJSONL(rec, tel)
+	}
 	inj, ca, cb := pair.ApplyChaos(chaosTelemetryPlan())
 	inj.AttachTelemetry(tel.Registry)
 	if err := pair.ExchangeRKeys(testrig.QPA, testrig.QPB); err != nil {
@@ -306,6 +325,9 @@ func WriteChaosTelemetry(o Options, metricsW, traceW io.Writer) error {
 		}
 	})
 	pair.StartProbes(tel, 2*sim.Microsecond)
+	if rec != nil {
+		rec.Start(2 * sim.Microsecond)
+	}
 	pair.Run()
 	if runErr == nil && rogue.Stats().Unexpected > 0 {
 		runErr = fmt.Errorf("rogue requester: %d forged requests completed (protection failed)", rogue.Stats().Unexpected)
@@ -323,6 +345,11 @@ func WriteChaosTelemetry(o Options, metricsW, traceW io.Writer) error {
 	}
 	if traceW != nil {
 		if err := tel.Trace.WriteJSON(traceW); err != nil {
+			return err
+		}
+	}
+	if rec != nil {
+		if err := rec.WriteJSONL(jsonlW); err != nil {
 			return err
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"strom/internal/kernels/traversal"
 	"strom/internal/kvstore"
 	"strom/internal/sim"
+	"strom/internal/telemetry/export"
 	"strom/internal/testrig"
 )
 
@@ -33,7 +34,26 @@ const telemetryRPCOp = 0x01
 // with occupancy probes sampling both NICs and the link every 2 µs.
 // Either writer may be nil to skip that export.
 func WriteTelemetry(o Options, metricsW, traceW io.Writer) error {
+	return WriteTelemetryExports(o, metricsW, traceW, nil)
+}
+
+// WriteTelemetryExports is WriteTelemetry plus the streaming JSONL
+// export: when jsonlW is non-nil every health surface (both NIC ports,
+// both link directions) and the whole metrics registry are scraped
+// every 2 µs of simulated time, the default alert rules are evaluated
+// at each scrape, and the merged event stream is written to jsonlW —
+// one JSON object per line, byte-identical for any -j and Shards
+// setting (the scenario pins itself to the single-engine testbed when
+// streaming: mid-run registry collection is only sound there, and the
+// pin makes sharded and unsharded invocations emit the same stream).
+// The 4% loss phase deliberately trips the out-discards rate rule, so a
+// consumer of this scenario's stream must expect out-discards (and on
+// some seeds fcs-err) alerts; anything else is a scenario regression.
+func WriteTelemetryExports(o Options, metricsW, traceW, jsonlW io.Writer) error {
 	o = o.normalized()
+	if jsonlW != nil {
+		o = o.unsharded()
+	}
 	pair, err := newPair(o, profile10G(), 32<<20)
 	if err != nil {
 		return err
@@ -42,6 +62,11 @@ func WriteTelemetry(o Options, metricsW, traceW io.Writer) error {
 		return err
 	}
 	tel := pair.Instrument()
+	var rec *export.Recorder
+	if jsonlW != nil {
+		rec = export.NewRecorder(export.DefaultRules())
+		pair.RecordJSONL(rec, tel)
+	}
 
 	// B hosts a small key-value store; A keeps the write source, read
 	// destination and GET response regions in its one registered buffer.
@@ -126,6 +151,9 @@ func WriteTelemetry(o Options, metricsW, traceW io.Writer) error {
 		fail("final write", pair.A.WriteSync(p, testrig.QPA, localA, remoteB, xfer))
 	})
 	pair.StartProbes(tel, 2*sim.Microsecond)
+	if rec != nil {
+		rec.Start(2 * sim.Microsecond)
+	}
 	pair.Run()
 	if runErr != nil {
 		return runErr
@@ -137,6 +165,11 @@ func WriteTelemetry(o Options, metricsW, traceW io.Writer) error {
 	}
 	if traceW != nil {
 		if err := tel.Trace.WriteJSON(traceW); err != nil {
+			return err
+		}
+	}
+	if rec != nil {
+		if err := rec.WriteJSONL(jsonlW); err != nil {
 			return err
 		}
 	}

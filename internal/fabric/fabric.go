@@ -34,9 +34,43 @@ type Impairment struct {
 	CorruptProb float64 // probability one bit of the frame is flipped
 }
 
+// DropCause classifies why a frame was discarded on the wire, so link
+// telemetry can break out_discards down the way switch error counters
+// do instead of reporting one aggregate.
+type DropCause uint8
+
+const (
+	// DropChaos is injected loss (the chaos Gilbert–Elliott model, or
+	// any FaultInjector that does not set a more specific cause).
+	DropChaos DropCause = iota
+	// DropFlap is a frame sent into a link-down (flap) window.
+	DropFlap
+	// DropOffline is a frame sent while the direction was
+	// administratively taken offline (SetOfflineAtoB/BtoA).
+	DropOffline
+	// DropImpair is the legacy biased-coin Impairment drop.
+	DropImpair
+)
+
+// String names the cause with the label used in telemetry exports.
+func (c DropCause) String() string {
+	switch c {
+	case DropChaos:
+		return "chaos"
+	case DropFlap:
+		return "flap"
+	case DropOffline:
+		return "offline"
+	case DropImpair:
+		return "impair"
+	}
+	return fmt.Sprintf("cause(%d)", uint8(c))
+}
+
 // Verdict is a FaultInjector's decision for one frame.
 type Verdict struct {
 	Drop      bool         // discard the frame entirely
+	Cause     DropCause    // why, when Drop is set (zero value: chaos)
 	Corrupt   bool         // flip one random bit of the delivered copy
 	Duplicate bool         // deliver a second, independent copy
 	Delay     sim.Duration // extra delivery delay (causes reordering)
@@ -53,14 +87,34 @@ type FaultInjector interface {
 	Judge(now sim.Time, frameLen int) Verdict
 }
 
-// Stats counts per-direction link activity.
+// Stats counts per-direction link activity. Dropped is the aggregate;
+// the DroppedX fields break it down by cause and always sum to it.
 type Stats struct {
-	Frames     uint64
-	Bytes      uint64 // wire bytes including framing overhead
-	Dropped    uint64
-	Corrupted  uint64
-	Duplicated uint64 // extra copies delivered by a FaultInjector
-	Delayed    uint64 // frames held back by a FaultInjector (reordering)
+	Frames         uint64
+	Bytes          uint64 // wire bytes including framing overhead
+	Dropped        uint64
+	DroppedChaos   uint64 // injected loss (chaos model / fault injectors)
+	DroppedFlap    uint64 // frames sent into a link-down window
+	DroppedOffline uint64 // direction administratively offline
+	DroppedImpair  uint64 // legacy biased-coin impairment
+	Corrupted      uint64
+	Duplicated     uint64 // extra copies delivered by a FaultInjector
+	Delayed        uint64 // frames held back by a FaultInjector (reordering)
+}
+
+// countDrop records one discard with its cause.
+func (st *Stats) countDrop(c DropCause) {
+	st.Dropped++
+	switch c {
+	case DropFlap:
+		st.DroppedFlap++
+	case DropOffline:
+		st.DroppedOffline++
+	case DropImpair:
+		st.DroppedImpair++
+	default:
+		st.DroppedChaos++
+	}
 }
 
 // direction is one side of a full-duplex link. eng is the sending
@@ -70,16 +124,17 @@ type Stats struct {
 // a sim.ShardGroup (NewLinkOn), in which case the propagation delay is
 // the lookahead that makes conservative parallel execution sound.
 type direction struct {
-	eng    *sim.Engine
-	dstEng *sim.Engine
-	wire   *sim.Serializer
-	gbps   float64
-	prop   sim.Duration
-	imp    Impairment
-	faults FaultInjector
-	dst    Endpoint
-	stats  Stats
-	tracer *sim.Tracer
+	eng     *sim.Engine
+	dstEng  *sim.Engine
+	wire    *sim.Serializer
+	gbps    float64
+	prop    sim.Duration
+	imp     Impairment
+	faults  FaultInjector
+	offline bool // administratively down: every frame is discarded
+	dst     Endpoint
+	stats   Stats
+	tracer  *sim.Tracer
 
 	// Same-engine deliveries push here and schedule drainFn (bound
 	// once), so the per-frame closure is never allocated; see sim.FIFO.
@@ -109,6 +164,17 @@ func (d *direction) drain() { d.dst.DeliverFrame(d.pend.Pop()) }
 
 func (d *direction) send(frame []byte) {
 	d.stats.Frames++
+	// An offline direction discards before the wire: no serializer
+	// reservation and no RNG draw, so toggling it on and off around a
+	// window leaves every other random decision in the run untouched.
+	if d.offline {
+		d.stats.countDrop(DropOffline)
+		d.tracer.Logf("fabric: offline, discarded frame (%d bytes)", len(frame))
+		if d.tb != nil {
+			d.tb.Instant(d.pid, d.tid, "wire", "drop:offline", fmt.Sprintf("%d bytes", len(frame)))
+		}
+		return
+	}
 	wireBytes := len(frame) + packet.EthFramingOverhead
 	d.stats.Bytes += uint64(wireBytes)
 	end := d.wire.Reserve(sim.BytesAt(wireBytes, d.gbps))
@@ -120,10 +186,14 @@ func (d *direction) send(frame []byte) {
 		v = d.faults.Judge(d.eng.Now(), len(frame))
 	}
 	if v.Drop || (d.imp.DropProb > 0 && d.eng.Rand().Float64() < d.imp.DropProb) {
-		d.stats.Dropped++
-		d.tracer.Logf("fabric: dropped frame (%d bytes)", len(frame))
+		cause := v.Cause
+		if !v.Drop {
+			cause = DropImpair
+		}
+		d.stats.countDrop(cause)
+		d.tracer.Logf("fabric: dropped frame (%d bytes, %v)", len(frame), cause)
 		if d.tb != nil {
-			d.tb.Instant(d.pid, d.tid, "wire", "drop", fmt.Sprintf("%d bytes", len(frame)))
+			d.tb.Instant(d.pid, d.tid, "wire", "drop:"+cause.String(), fmt.Sprintf("%d bytes", len(frame)))
 		}
 		return
 	}
@@ -144,6 +214,9 @@ func (d *direction) send(frame []byte) {
 		d.stats.Delayed++
 		deliverAt = deliverAt.Add(v.Delay)
 		d.tracer.Logf("fabric: delayed frame by %v", v.Delay)
+		if d.tb != nil {
+			d.tb.Instant(d.pid, d.tid, "wire", "delay", fmt.Sprintf("%v", v.Delay))
+		}
 	}
 	if d.tb != nil {
 		now := d.eng.Now()
@@ -233,6 +306,10 @@ func (l *Link) AttachTelemetry(reg *telemetry.Registry, tb *telemetry.TraceBuffe
 			reg.Counter("link_frames", lbl).Set(d.stats.Frames)
 			reg.Counter("link_bytes", lbl).Set(d.stats.Bytes)
 			reg.Counter("link_dropped", lbl).Set(d.stats.Dropped)
+			reg.Counter("link_dropped_by_cause", lbl, telemetry.L("cause", "chaos")).Set(d.stats.DroppedChaos)
+			reg.Counter("link_dropped_by_cause", lbl, telemetry.L("cause", "flap")).Set(d.stats.DroppedFlap)
+			reg.Counter("link_dropped_by_cause", lbl, telemetry.L("cause", "offline")).Set(d.stats.DroppedOffline)
+			reg.Counter("link_dropped_by_cause", lbl, telemetry.L("cause", "impair")).Set(d.stats.DroppedImpair)
 			reg.Counter("link_corrupted", lbl).Set(d.stats.Corrupted)
 			reg.Counter("link_duplicated", lbl).Set(d.stats.Duplicated)
 			reg.Counter("link_delayed", lbl).Set(d.stats.Delayed)
@@ -280,11 +357,54 @@ func (l *Link) SetFaultsAtoB(f FaultInjector) { l.a.faults = f }
 // SetFaultsBtoA installs a fault injector on the b→a direction.
 func (l *Link) SetFaultsBtoA(f FaultInjector) { l.b.faults = f }
 
+// SetOfflineAtoB administratively takes the a→b direction down (or back
+// up): while offline every frame is discarded before the wire, with no
+// RNG draw, and counted as an offline out_discard. On a sharded link
+// call it from engine A's event context (the sending shard owns the
+// direction).
+func (l *Link) SetOfflineAtoB(down bool) { l.a.offline = down }
+
+// SetOfflineBtoA administratively takes the b→a direction down. On a
+// sharded link call it from engine B's event context.
+func (l *Link) SetOfflineBtoA(down bool) { l.b.offline = down }
+
 // StatsAtoB returns counters for the a→b direction.
 func (l *Link) StatsAtoB() Stats { return l.a.stats }
 
 // StatsBtoA returns counters for the b→a direction.
 func (l *Link) StatsBtoA() Stats { return l.b.stats }
+
+// health builds one direction's scrapeable report using the switch-style
+// error-counter names documented in internal/telemetry/export: the
+// aggregate out_discards plus one counter per drop cause, corruption as
+// fcs_err (the receiver discards corrupted frames on ICRC), and wire
+// utilisation as a gauge.
+func (d *direction) health() (map[string]uint64, map[string]float64) {
+	st := &d.stats
+	return map[string]uint64{
+			"out_frames":           st.Frames,
+			"out_bytes":            st.Bytes,
+			"out_discards":         st.Dropped,
+			"out_discards_chaos":   st.DroppedChaos,
+			"out_discards_flap":    st.DroppedFlap,
+			"out_discards_offline": st.DroppedOffline,
+			"out_discards_impair":  st.DroppedImpair,
+			"fcs_err":              st.Corrupted,
+			"dup_frames":           st.Duplicated,
+			"delayed_frames":       st.Delayed,
+		}, map[string]float64{
+			"utilisation": d.wire.Utilisation(),
+		}
+}
+
+// HealthAtoB returns the a→b direction's health report. On a sharded
+// link the a→b state is owned by engine A: scrape it from there (it is
+// a valid export.ScrapeFunc for a source registered on engine A).
+func (l *Link) HealthAtoB() (map[string]uint64, map[string]float64) { return l.a.health() }
+
+// HealthBtoA returns the b→a direction's health report (engine B's
+// state on a sharded link).
+func (l *Link) HealthBtoA() (map[string]uint64, map[string]float64) { return l.b.health() }
 
 // UtilisationAtoB reports a→b wire utilisation since time zero.
 func (l *Link) UtilisationAtoB() float64 { return l.a.wire.Utilisation() }

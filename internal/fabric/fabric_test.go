@@ -293,3 +293,76 @@ func TestEndpointFunc(t *testing.T) {
 		t.Error("EndpointFunc did not call through")
 	}
 }
+
+// scheduleVerdicts installs a FaultInjector returning a fixed verdict
+// sequence, one per frame.
+type verdictSeq struct {
+	vs []Verdict
+	i  int
+}
+
+func (s *verdictSeq) Judge(now sim.Time, frameLen int) Verdict {
+	if s.i >= len(s.vs) {
+		return Verdict{}
+	}
+	v := s.vs[s.i]
+	s.i++
+	return v
+}
+
+func TestLinkDropCauseBreakdown(t *testing.T) {
+	eng := sim.NewEngine(1)
+	a, b := &sink{eng: eng}, &sink{eng: eng}
+	l := NewLink(eng, DirectCable10G(), a, b, nil)
+	l.SetFaultsAtoB(&verdictSeq{vs: []Verdict{
+		{Drop: true},                   // zero cause: chaos bucket
+		{Drop: true, Cause: DropFlap},  // explicit flap
+		{},                             // delivered
+		{Drop: true, Cause: DropChaos}, // explicit chaos
+	}})
+	frame := make([]byte, 100)
+	for i := 0; i < 4; i++ {
+		eng.Schedule(sim.Duration(i)*sim.Microsecond, func() { l.SendFromA(frame) })
+	}
+	// Two frames into an offline window, then one after it reopens.
+	eng.Schedule(10*sim.Microsecond, func() { l.SetOfflineAtoB(true) })
+	eng.Schedule(11*sim.Microsecond, func() { l.SendFromA(frame) })
+	eng.Schedule(12*sim.Microsecond, func() { l.SendFromA(frame) })
+	eng.Schedule(13*sim.Microsecond, func() { l.SetOfflineAtoB(false) })
+	eng.Schedule(14*sim.Microsecond, func() { l.SendFromA(frame) })
+	eng.Run()
+
+	st := l.StatsAtoB()
+	if st.Frames != 7 {
+		t.Fatalf("Frames = %d, want 7", st.Frames)
+	}
+	if st.Dropped != 5 || st.DroppedChaos != 2 || st.DroppedFlap != 1 || st.DroppedOffline != 2 || st.DroppedImpair != 0 {
+		t.Fatalf("drop breakdown %+v, want total 5 = chaos 2 + flap 1 + offline 2", st)
+	}
+	if sum := st.DroppedChaos + st.DroppedFlap + st.DroppedOffline + st.DroppedImpair; sum != st.Dropped {
+		t.Fatalf("causes sum to %d, aggregate says %d", sum, st.Dropped)
+	}
+	if len(b.frames) != 2 {
+		t.Fatalf("delivered %d frames, want 2", len(b.frames))
+	}
+	ch, _ := l.HealthAtoB()
+	if ch["out_discards"] != 5 || ch["out_discards_offline"] != 2 || ch["out_discards_chaos"] != 2 || ch["out_discards_flap"] != 1 {
+		t.Fatalf("health counters %v disagree with stats", ch)
+	}
+	if ch["out_frames"] != 7 {
+		t.Fatalf("health out_frames = %d, want 7", ch["out_frames"])
+	}
+}
+
+func TestLinkImpairDropCause(t *testing.T) {
+	eng := sim.NewEngine(2)
+	a, b := &sink{eng: eng}, &sink{eng: eng}
+	l := NewLink(eng, DirectCable10G(), a, b, nil)
+	l.ImpairAtoB(Impairment{DropProb: 1})
+	eng.Schedule(0, func() { l.SendFromA(make([]byte, 64)) })
+	eng.Run()
+	st := l.StatsAtoB()
+	if st.Dropped != 1 || st.DroppedImpair != 1 {
+		t.Fatalf("impair drop not attributed: %+v", st)
+	}
+}

@@ -40,6 +40,9 @@ func writeAllocs(t *testing.T, size, rounds int) float64 {
 // more than a 1-packet one. A regression that adds even one allocation
 // per packet doubles the slope and fails loudly.
 func TestAllocsWritePathPerPacket(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-runtime instrumentation allocates; AllocsPerRun is only meaningful without -race")
+	}
 	mtu := Config10G().MTUPayload
 	const pkts = 45
 	small := writeAllocs(t, 64, 200)       // 1 packet

@@ -1,6 +1,7 @@
 package roce
 
 import (
+	"fmt"
 	"strconv"
 
 	"strom/internal/packet"
@@ -8,11 +9,14 @@ import (
 )
 
 // Trace track (tid) layout inside a stack's process (pid): the TX and RX
-// pipelines plus a reliability lane for retransmissions and timeouts.
+// pipelines, a reliability lane for retransmissions and timeouts, and a
+// log lane for diagnostics that used to go through the deprecated
+// sim.Tracer.
 const (
 	traceTidTx      = 1
 	traceTidRx      = 2
 	traceTidRetrans = 3
+	traceTidLog     = 4
 )
 
 // AttachTelemetry wires the stack into the observability layer: the
@@ -44,6 +48,8 @@ func (s *Stack) AttachTelemetry(reg *telemetry.Registry, tb *telemetry.TraceBuff
 			reg.Counter("roce_qp_errors", nic).Set(st.QPErrors)
 			reg.Counter("roce_qp_resets", nic).Set(st.QPResets)
 			reg.Counter("roce_deadline_expired", nic).Set(st.DeadlineExpired)
+			reg.Counter("roce_ops_posted", nic).Set(st.OpsPosted)
+			reg.Counter("roce_ops_completed", nic).Set(st.OpsCompleted)
 			s.EachActiveQP(func(qpn uint32) {
 				reg.Gauge("roce_qp_state", nic,
 					telemetry.L("qp", strconv.Itoa(int(qpn)))).Set(float64(s.st.qps[qpn].state))
@@ -54,9 +60,21 @@ func (s *Stack) AttachTelemetry(reg *telemetry.Registry, tb *telemetry.TraceBuff
 		tb.NameThread(pid, traceTidTx, "roce:tx")
 		tb.NameThread(pid, traceTidRx, "roce:rx")
 		tb.NameThread(pid, traceTidRetrans, "roce:reliability")
+		tb.NameThread(pid, traceTidLog, "roce:log")
 	}
 	s.tb = tb
 	s.pid = pid
+}
+
+// logf records a diagnostic on the stack's log lane (structured tracing)
+// and forwards it through the deprecated sim.Tracer shim for callers
+// still on the legacy sink. name is the instant's short event name;
+// format/args carry the detail.
+func (s *Stack) logf(name, format string, args ...any) {
+	if s.tb != nil {
+		s.tb.Instant(s.pid, traceTidLog, "log", name, fmt.Sprintf(format, args...))
+	}
+	s.tracer.Logf("roce[%v]: "+format, append([]any{s.id.IP}, args...)...)
 }
 
 // EachActiveQP calls fn for every created queue pair in ascending QPN

@@ -1,0 +1,8 @@
+//go:build race
+
+package roce
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose runtime instrumentation adds heap allocations of its
+// own — testing.AllocsPerRun measurements are not meaningful there.
+const raceEnabled = true

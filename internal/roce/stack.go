@@ -72,6 +72,8 @@ type Stats struct {
 	QPResets         uint64 // queue pair resets (explicit or via restart)
 	DeadlineExpired  uint64 // verbs canceled by their deadline
 	NaksRemoteAccess uint64 // SynNAKRemoteAccess sent (memory protection violations)
+	OpsPosted        uint64 // verbs accepted by the requester path
+	OpsCompleted     uint64 // verbs finished (success or error)
 }
 
 // Request failure modes.
@@ -330,7 +332,8 @@ func (s *Stack) postSegmented(qpn uint32, kind packet.MessageKind, reth packet.R
 	}
 	opID := s.newOp(st)
 	nseg := packet.NumSegments(len(data), s.cfg.MTUPayload)
-	msg := &outMessage{kind: kind, complete: done}
+	msg := &outMessage{kind: kind, owner: s, complete: done}
+	s.stats.OpsPosted++
 	s.instrumentMsg(qpn, opID, kindName(kind), msg)
 	s.armDeadline(msg, deadline)
 	for i := 0; i < nseg; i++ {
@@ -389,7 +392,8 @@ func (s *Stack) PostRPCDeadline(qpn uint32, rpcOp uint64, params []byte, deadlin
 	if err != nil {
 		return err
 	}
-	msg := &outMessage{complete: done}
+	msg := &outMessage{owner: s, complete: done}
+	s.stats.OpsPosted++
 	s.instrumentMsg(qpn, opID, "RPC", msg)
 	s.armDeadline(msg, deadline)
 	if s.obs != nil {
@@ -470,7 +474,7 @@ func (s *Stack) postRead(qpn uint32, reth packet.RETH, deadline sim.Time, sink R
 	n := int(reth.DMALength)
 	opID := s.newOp(st)
 	npsn := uint32(packet.NumSegments(n, s.cfg.MTUPayload))
-	msg := &outMessage{isRead: true, complete: done}
+	msg := &outMessage{isRead: true, owner: s, complete: done}
 	elem, err := s.mq.push(qpn, mqElement{
 		FirstPSN: st.nextPSN,
 		LastPSN:  psnAdd(st.nextPSN, npsn-1),
@@ -482,6 +486,7 @@ func (s *Stack) postRead(qpn uint32, reth packet.RETH, deadline sim.Time, sink R
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrTooManyReads, err)
 	}
+	s.stats.OpsPosted++
 	s.instrumentMsg(qpn, opID, "READ", msg)
 	s.armDeadline(msg, deadline)
 	pkt := packet.ReadRequest(st.remoteQPN, st.nextPSN, reth)
@@ -528,7 +533,7 @@ func (s *Stack) process(frame []byte) {
 		// The Packet Dropper discards malformed packets; reliability
 		// recovers via retransmission.
 		s.stats.RxDiscarded++
-		s.tracer.Logf("roce[%v]: discard: %v", s.id.IP, err)
+		s.logf("discard", "discard: %v", err)
 		return
 	}
 	s.stats.RxPackets++
@@ -538,7 +543,7 @@ func (s *Stack) process(frame []byte) {
 	st, err := s.st.get(pkt.BTH.DestQP)
 	if err != nil {
 		s.stats.RxDiscarded++
-		s.tracer.Logf("roce[%v]: discard %v: %v", s.id.IP, pkt, err)
+		s.logf("discard", "discard %v: %v", pkt, err)
 		return
 	}
 	if s.frozen || st.state != QPStateRTS {
@@ -613,7 +618,7 @@ func (s *Stack) handleRequest(qpn uint32, st *qpState, pkt *packet.Packet) {
 	op := pkt.BTH.Opcode
 	if s.valid != nil && pkt.RETH != nil && (op.IsWrite() || op == packet.OpReadRequest) {
 		if err := s.valid.ValidateRemote(qpn, op, *pkt.RETH); err != nil {
-			s.tracer.Logf("roce[%v]: remote access rejected qp=%d psn=%d: %v", s.id.IP, qpn, pkt.BTH.PSN, err)
+			s.logf("remote-access", "remote access rejected qp=%d psn=%d: %v", qpn, pkt.BTH.PSN, err)
 			s.nakRemoteAccess(st, pkt.BTH.PSN)
 			return
 		}

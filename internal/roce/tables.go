@@ -85,6 +85,7 @@ func (p *pendingPacket) endPSN() uint32 { return psnAdd(p.psn, p.npsn-1) }
 type outMessage struct {
 	kind     packet.MessageKind
 	isRead   bool
+	owner    *Stack // counts the completion in the owner's Stats
 	complete func(error)
 	done     bool
 
@@ -105,6 +106,9 @@ func (m *outMessage) finish(err error) {
 	}
 	m.done = true
 	m.deadline.Cancel()
+	if m.owner != nil {
+		m.owner.stats.OpsCompleted++
+	}
 	if m.obs != nil {
 		m.obs.CompletedOp(m.obsQPN, m.obsID, err)
 	}

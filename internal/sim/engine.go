@@ -10,13 +10,14 @@ import (
 // are compacted away, so steady-state scheduling does not allocate;
 // outstanding Event handles are invalidated by the generation counter.
 type event struct {
-	at   Time
-	seq  uint64
-	fn   func()
-	eng  *Engine
-	gen  uint32
-	idx  int32 // position in the heap, -1 when not queued
-	dead bool
+	at     Time
+	seq    uint64
+	fn     func()
+	eng    *Engine
+	gen    uint32
+	idx    int32 // position in the heap, -1 when not queued
+	dead   bool
+	daemon bool // background event: never keeps the simulation alive
 }
 
 // Event is a generation-checked handle to a scheduled callback. Handles
@@ -45,6 +46,10 @@ func (ev Event) Cancel() {
 	e.dead = true
 	eng := e.eng
 	eng.ndead++
+	if e.daemon {
+		e.daemon = false
+		eng.ndaemon--
+	}
 	// Compact when over half the queue is dead so mass cancellation
 	// cannot grow the heap unboundedly.
 	if eng.ndead*2 > len(eng.heap) {
@@ -78,15 +83,16 @@ const maxFreeEvents = 1 << 16
 // Process). Distinct engines are fully independent, so concurrent
 // simulations on separate engines (one per goroutine) stay deterministic.
 type Engine struct {
-	now    Time
-	seq    uint64
-	heap   []*event // 4-ary min-heap ordered by (at, seq)
-	ndead  int      // cancelled events still occupying heap slots
-	free   []*event // recycled event structs
-	rng    *rand.Rand
-	fired  uint64
-	limit  Time // 0 means no horizon
-	halted bool
+	now     Time
+	seq     uint64
+	heap    []*event // 4-ary min-heap ordered by (at, seq)
+	ndead   int      // cancelled events still occupying heap slots
+	ndaemon int      // live queued daemon events
+	free    []*event // recycled event structs
+	rng     *rand.Rand
+	fired   uint64
+	limit   Time // 0 means no horizon
+	halted  bool
 
 	// process support
 	running *Process
@@ -137,6 +143,28 @@ func (e *Engine) ScheduleAt(t Time, fn func()) Event {
 	return Event{e: ev, gen: ev.gen}
 }
 
+// ScheduleDaemon runs fn after delay d as a daemon event: it fires in
+// timestamp order like any other event, but does not keep the
+// simulation alive — Run (and a shard group's barrier loop) terminates
+// once only daemon events remain, leaving them unfired. Periodic
+// background activity (telemetry scrapers, watchdog probes) schedules
+// itself this way so that two observers can never sustain each other
+// in an otherwise finished simulation.
+func (e *Engine) ScheduleDaemon(d Duration, fn func()) Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.ScheduleDaemonAt(e.now.Add(d), fn)
+}
+
+// ScheduleDaemonAt is ScheduleDaemon at absolute time t.
+func (e *Engine) ScheduleDaemonAt(t Time, fn func()) Event {
+	handle := e.ScheduleAt(t, fn)
+	handle.e.daemon = true
+	e.ndaemon++
+	return handle
+}
+
 // alloc takes an event struct from the free list, or makes one.
 func (e *Engine) alloc() *event {
 	if n := len(e.free); n > 0 {
@@ -155,6 +183,7 @@ func (e *Engine) recycle(ev *event) {
 	ev.fn = nil
 	ev.idx = -1
 	ev.dead = false
+	ev.daemon = false
 	if len(e.free) < maxFreeEvents {
 		e.free = append(e.free, ev)
 	}
@@ -261,11 +290,12 @@ func (e *Engine) Halt() { e.halted = true }
 // against runaway simulations). Zero disables the horizon.
 func (e *Engine) SetHorizon(t Time) { e.limit = t }
 
-// Run executes events until the queue is empty, Halt is called, or the
-// horizon is crossed. It returns the final simulated time.
+// Run executes events until the queue holds nothing but daemon events,
+// Halt is called, or the horizon is crossed. It returns the final
+// simulated time. Trailing daemon events are left queued unfired.
 func (e *Engine) Run() Time {
 	e.halted = false
-	for len(e.heap) > 0 && !e.halted {
+	for e.Pending() > 0 && !e.halted {
 		ev := e.pop()
 		if ev.dead {
 			e.ndead--
@@ -274,6 +304,9 @@ func (e *Engine) Run() Time {
 		}
 		if e.limit != 0 && ev.at > e.limit {
 			panic(fmt.Sprintf("sim: horizon %v exceeded (event at %v after %d events)", e.limit, ev.at, e.fired))
+		}
+		if ev.daemon {
+			e.ndaemon--
 		}
 		e.now = ev.at
 		e.fired++
@@ -288,7 +321,7 @@ func (e *Engine) Run() Time {
 // events queued. It returns the simulated time reached (t, or earlier if
 // the queue drained).
 func (e *Engine) RunUntil(t Time) Time {
-	for len(e.heap) > 0 {
+	for e.Pending() > 0 {
 		ev := e.heap[0]
 		if ev.dead {
 			e.pop()
@@ -301,6 +334,9 @@ func (e *Engine) RunUntil(t Time) Time {
 			return e.now
 		}
 		e.pop()
+		if ev.daemon {
+			e.ndaemon--
+		}
 		e.now = ev.at
 		e.fired++
 		fn := ev.fn
@@ -313,8 +349,11 @@ func (e *Engine) RunUntil(t Time) Time {
 	return e.now
 }
 
-// Pending reports the number of live queued events in O(1): the heap
-// length minus a live count of cancelled-but-unreclaimed entries.
+// Pending reports the number of live queued foreground events in O(1):
+// the heap length minus cancelled-but-unreclaimed entries and daemon
+// events. Daemons are excluded because Pending answers "is there work
+// that keeps the simulation alive?" — the question Run, the shard
+// barrier loop and self-limiting probes all ask.
 func (e *Engine) Pending() int {
-	return len(e.heap) - e.ndead
+	return len(e.heap) - e.ndead - e.ndaemon
 }

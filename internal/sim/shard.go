@@ -189,9 +189,12 @@ func (g *ShardGroup) Run() Time {
 	}
 	for {
 		// Global minimum next-event time over all shards. Outboxes are
-		// empty here (drained by the previous barrier).
+		// empty here (drained by the previous barrier). Daemon events
+		// never sustain the loop on their own: once every shard's
+		// foreground queue is empty the simulation is over, exactly as
+		// on a standalone engine (trailing daemons are left unfired).
 		next, ok := g.peekMin()
-		if !ok {
+		if !ok || !g.foregroundPending() {
 			break
 		}
 		window := next.Add(g.lookahead)
@@ -203,6 +206,17 @@ func (g *ShardGroup) Run() Time {
 		}
 	}
 	return g.Now()
+}
+
+// foregroundPending reports whether any shard still holds live
+// non-daemon events.
+func (g *ShardGroup) foregroundPending() bool {
+	for _, s := range g.shards {
+		if s.Pending() > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // peekMin returns the earliest pending event time across shards.
@@ -381,6 +395,9 @@ func (e *Engine) runBefore(w Time) {
 			panic(fmt.Sprintf("sim: horizon %v exceeded (event at %v after %d events)", e.limit, ev.at, e.fired))
 		}
 		e.pop()
+		if ev.daemon {
+			e.ndaemon--
+		}
 		e.now = ev.at
 		e.fired++
 		fn := ev.fn

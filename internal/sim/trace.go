@@ -16,6 +16,11 @@ const DefaultKeepLimit = 4096
 // instrumentation should use telemetry.TraceBuffer, which records
 // structured span/instant events and exports a Perfetto-compatible
 // timeline; a Tracer can forward its records into one via SetSink.
+// Every in-tree diagnostic now also emits a structured instant on a
+// dedicated log lane (roce:log, nic:log, the fabric wire tracks), so
+// the Tracer is a thin compatibility shim kept only for tests and CLI
+// flags that still consume plain-text records; DESIGN.md §14.4 has the
+// removal plan.
 type Tracer struct {
 	eng     *Engine
 	w       io.Writer

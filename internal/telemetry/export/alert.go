@@ -1,0 +1,248 @@
+package export
+
+import (
+	"fmt"
+
+	"strom/internal/sim"
+)
+
+// RuleKind selects the alert condition class.
+type RuleKind uint8
+
+const (
+	// Threshold compares the metric's current value against Value and
+	// fires once the comparison has held continuously for For.
+	Threshold RuleKind = iota
+	// Rate compares the metric's increase rate — events per millisecond
+	// of simulated time, measured over the trailing For window —
+	// against Value, and fires as soon as a full window exceeds it.
+	Rate
+	// NoProgress is the watchdog: it fires when the metric has not
+	// advanced for For while the While gauge (or counter) is non-zero.
+	NoProgress
+)
+
+// String names the kind.
+func (k RuleKind) String() string {
+	switch k {
+	case Threshold:
+		return "threshold"
+	case Rate:
+		return "rate"
+	case NoProgress:
+		return "no-progress"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Rule is one declarative alert condition, evaluated at every scrape
+// point against every health source that exposes its metric.
+type Rule struct {
+	// Name identifies the rule in alert events and summaries.
+	Name string
+	// Object restricts the rule to one source object ("" = any source
+	// whose report contains Metric).
+	Object string
+	// Metric is the health counter or gauge the rule watches.
+	Metric string
+	// Kind selects the condition class.
+	Kind RuleKind
+	// Op is the comparison for Threshold and Rate rules: "gt" (the
+	// default when empty), "ge", "lt", "le" or "eq".
+	Op string
+	// Value is the comparison threshold. For Rate rules it is in
+	// events per millisecond of simulated time.
+	Value float64
+	// For is the hold duration: Threshold fires after the condition
+	// held this long, Rate measures over this trailing window, and
+	// NoProgress fires after this long without the metric advancing.
+	// Zero means Threshold rules fire on the first true scrape.
+	For sim.Duration
+	// While gates a NoProgress rule: the watchdog is armed only while
+	// this gauge (or counter) is greater than zero, so an idle source
+	// never trips it.
+	While string
+}
+
+// DefaultRules is the rule set the canonical instrumented scenarios and
+// `strombench -jsonl` evaluate. Thresholds are tuned so a clean run
+// stays silent while injected chaos (loss bursts, corruption, rogue
+// requesters, crash cycles, blackholes) provably fires.
+func DefaultRules() []Rule {
+	return []Rule{
+		{Name: "out-discards", Metric: "out_discards", Kind: Rate, Op: "gt", Value: 2, For: 500 * sim.Microsecond},
+		{Name: "fcs-err", Metric: "fcs_err", Kind: Rate, Op: "gt", Value: 1, For: 500 * sim.Microsecond},
+		{Name: "remote-access", Metric: "remote_access_naks", Kind: Threshold, Op: "gt", Value: 0},
+		{Name: "qp-errors", Metric: "qp_errors", Kind: Threshold, Op: "gt", Value: 0},
+		{Name: "watchdog", Metric: "ops_completed", Kind: NoProgress, For: 2 * sim.Millisecond, While: "outstanding_ops"},
+	}
+}
+
+// compare applies the rule's operator.
+func (r *Rule) compare(v float64) bool {
+	switch r.Op {
+	case "", "gt":
+		return v > r.Value
+	case "ge":
+		return v >= r.Value
+	case "lt":
+		return v < r.Value
+	case "le":
+		return v <= r.Value
+	case "eq":
+		return v == r.Value
+	}
+	return false
+}
+
+// rateSample is one point of a Rate rule's trailing window.
+type rateSample struct {
+	at sim.Time
+	v  uint64
+}
+
+// alertState is the evaluation state of one (rule, object) pair.
+type alertState struct {
+	rule *Rule
+
+	active       bool
+	fired        uint64
+	pending      bool     // Threshold: condition currently true
+	pendingSince sim.Time // ... since this scrape
+	window       []rateSample
+	lastValue    uint64   // NoProgress: last observed metric value
+	lastChange   sim.Time // ... and when it last advanced (or was gated)
+	seen         bool
+}
+
+// AlertSummary is the final per-(rule, object) tally.
+type AlertSummary struct {
+	Rule   string `json:"rule"`
+	Object string `json:"object"`
+	Fired  uint64 `json:"fired"`
+	Active bool   `json:"active"`
+}
+
+// alertPayload is the JSON payload of an "alert"/"resolve" event.
+type alertPayload struct {
+	Rule   string  `json:"rule"`
+	Object string  `json:"object"`
+	Metric string  `json:"metric"`
+	Kind   string  `json:"kind"`
+	Value  float64 `json:"value"`
+}
+
+// alerter evaluates one rule set against the sources of one scraper
+// (one engine shard). Each (rule, object) pair has independent state;
+// evaluation order — rules in declaration order per source, sources in
+// registration order — is deterministic.
+type alerter struct {
+	rules  []Rule
+	states map[alertKey]*alertState
+}
+
+type alertKey struct {
+	rule   int
+	object string
+}
+
+func newAlerter(rules []Rule) *alerter {
+	return &alerter{rules: rules, states: make(map[alertKey]*alertState)}
+}
+
+// lookup finds a metric in a report: counters first, then gauges.
+func lookup(name string, counters map[string]uint64, gauges map[string]float64) (float64, bool) {
+	if v, ok := counters[name]; ok {
+		return float64(v), true
+	}
+	if v, ok := gauges[name]; ok {
+		return v, true
+	}
+	return 0, false
+}
+
+// eval runs every matching rule against one source's scrape and
+// reports fire/resolve transitions via emit.
+func (a *alerter) eval(now sim.Time, object string, counters map[string]uint64, gauges map[string]float64, emit func(typ string, p alertPayload)) {
+	for i := range a.rules {
+		r := &a.rules[i]
+		if r.Object != "" && r.Object != object {
+			continue
+		}
+		v, ok := lookup(r.Metric, counters, gauges)
+		if !ok {
+			continue
+		}
+		k := alertKey{rule: i, object: object}
+		st := a.states[k]
+		if st == nil {
+			st = &alertState{rule: r}
+			a.states[k] = st
+		}
+		var cond bool
+		val := v
+		switch r.Kind {
+		case Threshold:
+			cond = r.compare(v)
+			if cond && !st.pending {
+				st.pending, st.pendingSince = true, now
+			}
+			if !cond {
+				st.pending = false
+			}
+			cond = cond && now.Sub(st.pendingSince) >= r.For
+		case Rate:
+			cv := uint64(v)
+			// Trim the window to the trailing For horizon, keeping one
+			// sample at or beyond the boundary as the rate base.
+			for len(st.window) >= 2 && st.window[1].at <= now-sim.Time(r.For) {
+				st.window = st.window[1:]
+			}
+			if len(st.window) > 0 {
+				span := now.Sub(st.window[0].at)
+				if span >= r.For && span > 0 {
+					val = float64(cv-st.window[0].v) / (float64(span) / float64(sim.Millisecond))
+					cond = r.compare(val)
+				}
+			}
+			st.window = append(st.window, rateSample{at: now, v: cv})
+		case NoProgress:
+			cv := uint64(v)
+			gate := true
+			if r.While != "" {
+				g, gok := lookup(r.While, counters, gauges)
+				gate = gok && g > 0
+			}
+			if !st.seen || cv != st.lastValue || !gate {
+				st.lastValue, st.lastChange = cv, now
+			}
+			st.seen = true
+			cond = gate && now.Sub(st.lastChange) >= r.For
+			val = float64(now.Sub(st.lastChange)) / float64(sim.Millisecond)
+		}
+		switch {
+		case cond && !st.active:
+			st.active = true
+			st.fired++
+			emit("alert", alertPayload{Rule: r.Name, Object: object, Metric: r.Metric, Kind: r.Kind.String(), Value: val})
+		case !cond && st.active:
+			st.active = false
+			emit("resolve", alertPayload{Rule: r.Name, Object: object, Metric: r.Metric, Kind: r.Kind.String(), Value: val})
+		}
+	}
+}
+
+// summaries returns the per-(rule, object) tallies in deterministic
+// (rule declaration, object registration) order. objects lists the
+// scraper's source objects in registration order.
+func (a *alerter) summaries(objects []string) []AlertSummary {
+	var out []AlertSummary
+	for i := range a.rules {
+		for _, obj := range objects {
+			if st, ok := a.states[alertKey{rule: i, object: obj}]; ok {
+				out = append(out, AlertSummary{Rule: a.rules[i].Name, Object: obj, Fired: st.fired, Active: st.active})
+			}
+		}
+	}
+	return out
+}

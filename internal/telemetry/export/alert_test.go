@@ -1,0 +1,152 @@
+package export
+
+import (
+	"testing"
+
+	"strom/internal/sim"
+)
+
+// evalSeries feeds a sequence of (time, counters, gauges) scrapes of a
+// single object through one rule and returns the fire/resolve event
+// types in order.
+func evalSeries(t *testing.T, rule Rule, scrapes []struct {
+	at sim.Time
+	c  map[string]uint64
+	g  map[string]float64
+}) []string {
+	t.Helper()
+	a := newAlerter([]Rule{rule})
+	var out []string
+	for _, s := range scrapes {
+		a.eval(s.at, "obj", s.c, s.g, func(typ string, p alertPayload) {
+			out = append(out, typ)
+		})
+	}
+	return out
+}
+
+func TestThresholdFiresAfterHold(t *testing.T) {
+	rule := Rule{Name: "qp-stuck", Metric: "qp1_state", Kind: Threshold, Op: "eq", Value: 1, For: 1 * sim.Millisecond}
+	us := func(n int64) sim.Time { return sim.Time(sim.Duration(n) * sim.Microsecond) }
+	got := evalSeries(t, rule, []struct {
+		at sim.Time
+		c  map[string]uint64
+		g  map[string]float64
+	}{
+		{us(0), nil, map[string]float64{"qp1_state": 0}},
+		{us(100), nil, map[string]float64{"qp1_state": 1}},  // condition starts
+		{us(600), nil, map[string]float64{"qp1_state": 1}},  // held 500us: not yet
+		{us(1200), nil, map[string]float64{"qp1_state": 1}}, // held 1.1ms: fire
+		{us(1400), nil, map[string]float64{"qp1_state": 1}}, // active, no re-fire
+		{us(1600), nil, map[string]float64{"qp1_state": 0}}, // resolve
+		{us(1700), nil, map[string]float64{"qp1_state": 1}}, // pending restarts
+		{us(1800), nil, map[string]float64{"qp1_state": 1}}, // not held long enough
+	})
+	want := []string{"alert", "resolve"}
+	if len(got) != len(want) || got[0] != "alert" || got[1] != "resolve" {
+		t.Fatalf("event sequence %v, want %v", got, want)
+	}
+}
+
+func TestThresholdImmediate(t *testing.T) {
+	rule := Rule{Name: "remote-access", Metric: "remote_access_naks", Kind: Threshold, Value: 0}
+	got := evalSeries(t, rule, []struct {
+		at sim.Time
+		c  map[string]uint64
+		g  map[string]float64
+	}{
+		{0, map[string]uint64{"remote_access_naks": 0}, nil},
+		{100, map[string]uint64{"remote_access_naks": 1}, nil},
+		{200, map[string]uint64{"remote_access_naks": 5}, nil},
+	})
+	if len(got) != 1 || got[0] != "alert" {
+		t.Fatalf("event sequence %v, want one alert", got)
+	}
+}
+
+func TestRateOverWindow(t *testing.T) {
+	// > 2 events per ms over a 500us window: needs >1 new events per
+	// trailing half-millisecond.
+	rule := Rule{Name: "out-discards", Metric: "out_discards", Kind: Rate, Value: 2, For: 500 * sim.Microsecond}
+	us := func(n int64) sim.Time { return sim.Time(sim.Duration(n) * sim.Microsecond) }
+	scr := func(at sim.Time, v uint64) struct {
+		at sim.Time
+		c  map[string]uint64
+		g  map[string]float64
+	} {
+		return struct {
+			at sim.Time
+			c  map[string]uint64
+			g  map[string]float64
+		}{at, map[string]uint64{"out_discards": v}, nil}
+	}
+	got := evalSeries(t, rule, []struct {
+		at sim.Time
+		c  map[string]uint64
+		g  map[string]float64
+	}{
+		scr(us(0), 0),
+		scr(us(250), 5),   // window not yet full: silent even though rate is huge
+		scr(us(600), 9),   // window [0,600]: 9 events / 0.6ms = 15/ms -> fire
+		scr(us(900), 9),   // window base (250,5): 4/0.65ms still > 2 -> active
+		scr(us(1500), 9),  // window base (900,9): flat -> resolve
+		scr(us(2100), 12), // window [1500,2100]: 3/0.6ms = 5/ms -> fire again
+	})
+	want := []string{"alert", "resolve", "alert"}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("event sequence %v, want %v", got, want)
+	}
+}
+
+func TestNoProgressWatchdog(t *testing.T) {
+	rule := Rule{Name: "watchdog", Metric: "ops_completed", Kind: NoProgress, For: 1 * sim.Millisecond, While: "outstanding_ops"}
+	us := func(n int64) sim.Time { return sim.Time(sim.Duration(n) * sim.Microsecond) }
+	scr := func(at sim.Time, done uint64, outstanding float64) struct {
+		at sim.Time
+		c  map[string]uint64
+		g  map[string]float64
+	} {
+		return struct {
+			at sim.Time
+			c  map[string]uint64
+			g  map[string]float64
+		}{at, map[string]uint64{"ops_completed": done}, map[string]float64{"outstanding_ops": outstanding}}
+	}
+	got := evalSeries(t, rule, []struct {
+		at sim.Time
+		c  map[string]uint64
+		g  map[string]float64
+	}{
+		scr(us(0), 0, 0),    // idle: gated
+		scr(us(2000), 0, 0), // idle for 2ms: still gated, no alert
+		scr(us(2100), 1, 1), // work starts, progress
+		scr(us(2600), 1, 1), // flat 500us: not yet
+		scr(us(3200), 1, 1), // flat 1.1ms with outstanding work: fire
+		scr(us(3300), 2, 1), // progress: resolve
+		scr(us(4400), 2, 0), // flat but drained: gated, no alert
+	})
+	want := []string{"alert", "resolve"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("event sequence %v, want %v", got, want)
+	}
+}
+
+func TestRuleObjectFilterAndMissingMetric(t *testing.T) {
+	a := newAlerter([]Rule{
+		{Name: "only-b", Object: "b", Metric: "x", Kind: Threshold, Value: 0},
+	})
+	var fired []string
+	emit := func(typ string, p alertPayload) { fired = append(fired, p.Object) }
+	a.eval(0, "a", map[string]uint64{"x": 5}, nil, emit) // wrong object
+	a.eval(0, "b", map[string]uint64{"y": 5}, nil, emit) // metric missing
+	a.eval(0, "b", map[string]uint64{"x": 5}, nil, emit) // fires
+	if len(fired) != 1 || fired[0] != "b" {
+		t.Fatalf("fired %v, want exactly [b]", fired)
+	}
+	// Only (rule, object) pairs that were actually evaluated get a
+	// summary: object "a" never matched the rule's Object filter.
+	sums := a.summaries([]string{"a", "b"})
+	if len(sums) != 1 || sums[0].Object != "b" || sums[0].Fired != 1 {
+		t.Fatalf("summaries %+v, want exactly one entry for b with fired=1", sums)
+	}
+}

@@ -1,0 +1,395 @@
+package export
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"strom/internal/sim"
+	"strom/internal/telemetry"
+)
+
+// Sink receives encoded JSONL lines. The file and buffered-writer sinks
+// below cover the common cases; anything else (a socket, a ring buffer)
+// plugs in by implementing Emit.
+type Sink interface {
+	Emit(line []byte) error
+}
+
+// WriterSink buffers lines into an io.Writer. Close flushes.
+type WriterSink struct {
+	bw *bufio.Writer
+}
+
+// NewWriterSink wraps w in a buffered JSONL sink.
+func NewWriterSink(w io.Writer) *WriterSink {
+	return &WriterSink{bw: bufio.NewWriterSize(w, 64<<10)}
+}
+
+// Emit writes one line.
+func (s *WriterSink) Emit(line []byte) error {
+	_, err := s.bw.Write(line)
+	return err
+}
+
+// Close flushes buffered lines to the underlying writer.
+func (s *WriterSink) Close() error { return s.bw.Flush() }
+
+// MemorySink retains decoded events in memory (tests, stromtail-style
+// post-processing inside the same process).
+type MemorySink struct {
+	Events []Event
+}
+
+// Emit decodes and retains one line.
+func (s *MemorySink) Emit(line []byte) error {
+	ev, err := Decode(line)
+	if err != nil {
+		return err
+	}
+	s.Events = append(s.Events, ev)
+	return nil
+}
+
+// source is one registered health source.
+type source struct {
+	host      string
+	subsystem string
+	object    string
+	scrape    ScrapeFunc
+	last      map[string]uint64 // previous scrape, for deltas
+}
+
+// segEvent is an event plus its merge rank within the recorder.
+type segEvent struct {
+	ev  Event
+	fin bool // end-of-run event: sorts after same-timestamp scrapes
+	seg int
+}
+
+// scraper drives the sources living on one engine: one probe per
+// engine, scraping sources in registration order, evaluating alert
+// rules, and appending events to this segment.
+type scraper struct {
+	rec     *Recorder
+	eng     *sim.Engine
+	seg     int
+	sources []*source
+	reg     *telemetry.Registry // optional whole-registry scrape
+	regHost string
+	regLast map[string]uint64 // previous counter values, for deltas
+	alerts  *alerter
+	seq     uint64
+	events  []segEvent
+}
+
+// Recorder assembles the stream: per-engine scrapers (segments), the
+// shared rule set, and the deterministic merge. Zero-value construction
+// is not supported; use NewRecorder.
+//
+// Usage: register sources (and optionally a registry) during setup,
+// Start after the workload has been scheduled, run the simulation, then
+// Drain/WriteTo. On a sharded testbed each engine's sources are scraped
+// by that shard (the single-writer contract); the merged stream is
+// byte-identical for every worker count.
+type Recorder struct {
+	mu       sync.Mutex // guards segment creation (sharded setup)
+	rules    []Rule
+	scrapers []*scraper
+	finished bool
+}
+
+// NewRecorder returns a recorder evaluating rules (nil = no alerting).
+func NewRecorder(rules []Rule) *Recorder {
+	return &Recorder{rules: rules}
+}
+
+// scraperFor returns the segment for eng, creating it on first use.
+// Segment rank is creation order, which must be deterministic (register
+// sources during single-threaded setup).
+func (r *Recorder) scraperFor(eng *sim.Engine) *scraper {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range r.scrapers {
+		if s.eng == eng {
+			return s
+		}
+	}
+	s := &scraper{rec: r, eng: eng, seg: len(r.scrapers), alerts: newAlerter(r.rules)}
+	r.scrapers = append(r.scrapers, s)
+	return r.scrapers[len(r.scrapers)-1]
+}
+
+// Source registers a health source on the engine that owns its state.
+// host/subsystem/object name the source in the stream ("A"/"port"/
+// "nic:A", "fabric"/"link"/"a-to-b", ...).
+func (r *Recorder) Source(eng *sim.Engine, host, subsystem, object string, scrape ScrapeFunc) {
+	s := r.scraperFor(eng)
+	s.sources = append(s.sources, &source{host: host, subsystem: subsystem, object: object, scrape: scrape})
+}
+
+// Registry additionally scrapes a whole metrics registry on eng every
+// interval, emitting one "metrics" event per registry subsystem (keyed
+// by metric-name prefix: roce_*, link_*, nic_*, pcie_*, chaos_*, mr_*,
+// ...) with counters, counter deltas, gauges and histogram digests.
+//
+// The registry's collect callbacks mirror state owned by every
+// component that attached to it, so mid-run collection is only sound
+// when the whole testbed runs on eng — attach it on unsharded testbeds
+// only. (Sharded runs still get per-shard health events; the registry
+// export stays an end-of-run concern there.)
+func (r *Recorder) Registry(eng *sim.Engine, host string, reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	s := r.scraperFor(eng)
+	s.reg, s.regHost, s.regLast = reg, host, make(map[string]uint64)
+}
+
+// Start installs one scrape probe per engine. The probes are daemon
+// events: they scrape for as long as the workload runs and can never
+// keep a finished simulation alive, even alongside other probes — so
+// Start works whether it is called before or after the workload is
+// scheduled.
+func (r *Recorder) Start(every sim.Duration) {
+	for _, s := range r.scrapers {
+		s := s
+		telemetry.DaemonProbe(s.eng, every, func(now sim.Time) { s.tick(now) })
+	}
+}
+
+// emit appends one event to the segment.
+func (s *scraper) emit(now sim.Time, fin bool, host, subsystem, typ string, data any) {
+	s.events = append(s.events, segEvent{
+		ev: Event{
+			TS: int64(now), Seq: s.seq, Host: host, Subsystem: subsystem,
+			Type: typ, Data: marshalData(data),
+		},
+		fin: fin,
+		seg: s.seg,
+	})
+	s.seq++
+}
+
+// tick is one scrape point: health sources in order, then the registry.
+func (s *scraper) tick(now sim.Time) {
+	for _, src := range s.sources {
+		s.scrapeSource(now, false, src)
+	}
+	s.scrapeRegistry(now, false)
+}
+
+// scrapeSource scrapes one source, emits its health event and runs the
+// alert rules over the fresh report.
+func (s *scraper) scrapeSource(now sim.Time, fin bool, src *source) {
+	counters, gauges := src.scrape()
+	delta := make(map[string]uint64, len(counters))
+	for k, v := range counters {
+		if d := v - src.last[k]; d != 0 {
+			delta[k] = d
+		}
+	}
+	src.last = counters
+	s.emit(now, fin, src.host, src.subsystem, "health", healthPayload{
+		Object: src.object, Counters: counters, Delta: delta, Gauges: gauges,
+	})
+	s.alerts.eval(now, src.object, counters, gauges, func(typ string, p alertPayload) {
+		s.emit(now, fin, src.host, "alert", typ, p)
+	})
+}
+
+// metricsPayload is the JSON payload of one registry-subsystem event.
+type metricsPayload struct {
+	Counters   map[string]uint64     `json:"counters,omitempty"`
+	Delta      map[string]uint64     `json:"delta,omitempty"`
+	Gauges     map[string]float64    `json:"gauges,omitempty"`
+	Histograms map[string]histDigest `json:"histograms,omitempty"`
+}
+
+// histDigest is the per-scrape digest of one histogram.
+type histDigest struct {
+	Count uint64  `json:"count"`
+	Sum   int64   `json:"sum"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+}
+
+// scrapeRegistry collects the registry and emits one "metrics" event
+// per subsystem, in sorted subsystem order.
+func (s *scraper) scrapeRegistry(now sim.Time, fin bool) {
+	if s.reg == nil {
+		return
+	}
+	s.reg.Collect()
+	bySub := make(map[string]*metricsPayload)
+	get := func(key string) *metricsPayload {
+		sub := subsystemOf(key)
+		p := bySub[sub]
+		if p == nil {
+			p = &metricsPayload{}
+			bySub[sub] = p
+		}
+		return p
+	}
+	s.reg.EachCounter(func(key string, v uint64) {
+		p := get(key)
+		if p.Counters == nil {
+			p.Counters = make(map[string]uint64)
+		}
+		p.Counters[key] = v
+		if d := v - s.regLast[key]; d != 0 {
+			if p.Delta == nil {
+				p.Delta = make(map[string]uint64)
+			}
+			p.Delta[key] = d
+		}
+		s.regLast[key] = v
+	})
+	s.reg.EachGauge(func(key string, v float64) {
+		p := get(key)
+		if p.Gauges == nil {
+			p.Gauges = make(map[string]float64)
+		}
+		p.Gauges[key] = v
+	})
+	s.reg.EachHistogram(func(key string, h *telemetry.Histogram) {
+		p := get(key)
+		if p.Histograms == nil {
+			p.Histograms = make(map[string]histDigest)
+		}
+		p.Histograms[key] = histDigest{
+			Count: h.Count(), Sum: h.Sum(),
+			P50: h.Quantile(0.50), P99: h.Quantile(0.99),
+		}
+	})
+	subs := make([]string, 0, len(bySub))
+	for sub := range bySub {
+		subs = append(subs, sub)
+	}
+	sort.Strings(subs)
+	for _, sub := range subs {
+		s.emit(now, fin, s.regHost, sub, "metrics", bySub[sub])
+	}
+}
+
+// subsystemOf maps a metric key to its registry subsystem by name
+// prefix.
+func subsystemOf(key string) string {
+	prefix := key
+	if i := strings.IndexAny(key, "_{"); i >= 0 {
+		prefix = key[:i]
+	}
+	switch prefix {
+	case "roce", "qp":
+		return "roce"
+	case "link":
+		return "fabric"
+	case "nic", "kernel", "op", "doorbell":
+		return "core"
+	case "pcie":
+		return "pcie"
+	case "chaos":
+		return "chaos"
+	case "mr":
+		return "mr"
+	}
+	return "misc"
+}
+
+// Finish emits the end-of-run events: one final health scrape per
+// source (so the stream always carries the run's last word, even when
+// the probe interval outlived the workload), a final registry snapshot,
+// and the per-scraper alert summaries. Idempotent; Drain calls it.
+func (r *Recorder) Finish() {
+	if r.finished {
+		return
+	}
+	r.finished = true
+	for _, s := range r.scrapers {
+		now := s.eng.Now()
+		for _, src := range s.sources {
+			s.scrapeSource(now, true, src)
+		}
+		s.scrapeRegistry(now, true)
+		for _, sum := range s.alerts.summaries(s.objects()) {
+			s.emit(now, true, "testbed", "alert", "summary", sum)
+		}
+	}
+}
+
+// objects lists the scraper's source objects in registration order.
+func (s *scraper) objects() []string {
+	out := make([]string, len(s.sources))
+	for i, src := range s.sources {
+		out[i] = src.object
+	}
+	return out
+}
+
+// Drain finishes the recorder and emits the merged stream into sink.
+// The merge key is (timestamp, end-of-run flag, segment rank, sequence)
+// — a total order independent of shard interleaving, so the stream is
+// byte-identical at every worker count.
+func (r *Recorder) Drain(sink Sink) error {
+	r.Finish()
+	var all []segEvent
+	for _, s := range r.scrapers {
+		all = append(all, s.events...)
+	}
+	sort.SliceStable(all, func(a, b int) bool {
+		x, y := all[a], all[b]
+		if x.ev.TS != y.ev.TS {
+			return x.ev.TS < y.ev.TS
+		}
+		if x.fin != y.fin {
+			return !x.fin
+		}
+		if x.seg != y.seg {
+			return x.seg < y.seg
+		}
+		return x.ev.Seq < y.ev.Seq
+	})
+	for _, e := range all {
+		line, err := Encode(e.ev)
+		if err != nil {
+			return err
+		}
+		if err := sink.Emit(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSONL drains the merged stream into w as JSON Lines.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	sink := NewWriterSink(w)
+	if err := r.Drain(sink); err != nil {
+		return err
+	}
+	return sink.Close()
+}
+
+// Summaries finishes the recorder and returns every (rule, object)
+// alert tally, merged across segments in (segment, rule, object) order.
+func (r *Recorder) Summaries() []AlertSummary {
+	r.Finish()
+	var out []AlertSummary
+	for _, s := range r.scrapers {
+		out = append(out, s.alerts.summaries(s.objects())...)
+	}
+	return out
+}
+
+// Fired reports how many times the named rule fired across all objects.
+func (r *Recorder) Fired(rule string) uint64 {
+	var n uint64
+	for _, s := range r.Summaries() {
+		if s.Rule == rule {
+			n += s.Fired
+		}
+	}
+	return n
+}

@@ -26,3 +26,22 @@ func Probe(eng *sim.Engine, every sim.Duration, fn func(now sim.Time)) {
 	}
 	eng.Schedule(every, tick)
 }
+
+// DaemonProbe is Probe on daemon events: fn samples every interval for
+// as long as foreground work remains anywhere in the simulation, and
+// the probe can never keep the simulation (or another probe) alive —
+// the engine's run loop simply stops once only daemons are queued.
+// Unlike Probe it may therefore be installed before the workload is
+// scheduled, and any number of daemon probes can coexist on one engine
+// without sustaining each other.
+func DaemonProbe(eng *sim.Engine, every sim.Duration, fn func(now sim.Time)) {
+	if eng == nil || fn == nil || every <= 0 {
+		return
+	}
+	var tick func()
+	tick = func() {
+		fn(eng.Now())
+		eng.ScheduleDaemon(every, tick)
+	}
+	eng.ScheduleDaemon(every, tick)
+}

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"encoding/json"
 	"io"
+	"sort"
 	"sync"
 )
 
@@ -178,6 +179,48 @@ func (r *Registry) Collect() {
 	r.mu.RUnlock()
 	for _, fn := range collectors {
 		fn()
+	}
+}
+
+// sortedKeys returns the keys of m in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// EachCounter calls fn for every counter in sorted key order. It does
+// not run the collect callbacks; call Collect first for fresh mirrors.
+// Used by the JSONL export scraper (internal/telemetry/export).
+func (r *Registry) EachCounter(fn func(key string, v uint64)) {
+	if r == nil {
+		return
+	}
+	for _, k := range sortedKeys(r.counters) {
+		fn(k, r.counters[k].v)
+	}
+}
+
+// EachGauge calls fn for every gauge in sorted key order.
+func (r *Registry) EachGauge(fn func(key string, v float64)) {
+	if r == nil {
+		return
+	}
+	for _, k := range sortedKeys(r.gauges) {
+		fn(k, r.gauges[k].v)
+	}
+}
+
+// EachHistogram calls fn for every histogram in sorted key order.
+func (r *Registry) EachHistogram(fn func(key string, h *Histogram)) {
+	if r == nil {
+		return
+	}
+	for _, k := range sortedKeys(r.histograms) {
+		fn(k, r.histograms[k])
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"strom/internal/roce"
 	"strom/internal/sim"
 	"strom/internal/telemetry"
+	"strom/internal/telemetry/export"
 )
 
 // Pair is the two-machine testbed. QP 1 on A is connected to QP 2 on B,
@@ -159,6 +160,26 @@ func (p *Pair) StartProbes(tel *Telemetry, every sim.Duration) {
 		tel.Registry.Histogram("link_utilisation_samples", "fraction",
 			telemetry.L("dir", "b-to-a")).ObserveInt(int64(p.Link.UtilisationBtoA() * 100))
 	})
+}
+
+// RecordJSONL registers the testbed's health surfaces with a JSONL
+// recorder: NIC A and the a→b link direction on machine A's engine, NIC
+// B and the b→a direction on machine B's (the shard that owns each
+// surface scrapes it). On an unsharded pair tel's registry is scraped
+// too — one "metrics" event per subsystem per interval. A sharded pair
+// exports health events only: the registry's collect callbacks span
+// both shards, so scraping it mid-run from one shard would race (the
+// end-of-run registry export is Registry.WriteJSON's job there). Pass
+// tel nil to skip registry export entirely. Call before the workload is
+// scheduled, then rec.Start after, mirroring StartProbes.
+func (p *Pair) RecordJSONL(rec *export.Recorder, tel *Telemetry) {
+	rec.Source(p.Eng, "A", "port", "nic:A", p.A.Health)
+	rec.Source(p.Eng, "fabric", "link", "a-to-b", p.Link.HealthAtoB)
+	rec.Source(p.EngB, "B", "port", "nic:B", p.B.Health)
+	rec.Source(p.EngB, "fabric", "link", "b-to-a", p.Link.HealthBtoA)
+	if tel != nil && p.Group == nil {
+		rec.Registry(p.Eng, "testbed", tel.Registry)
+	}
 }
 
 // ApplyChaos wires a chaos plan into the testbed — frame faults on the
