@@ -53,7 +53,8 @@ determinism:
 # seed corpora (packet header round-trip, CRC slicing equivalence, QP
 # state-machine exactly-once under random fault interleavings, RETH
 # validation never-false-accept, shard window scheduling never reorders
-# same-timestamp cross-shard events).
+# same-timestamp cross-shard events, switch arbitration conservation
+# under random arrival interleavings).
 fuzz:
 	$(GO) test ./internal/packet -fuzz=FuzzHeaderRoundTrip -fuzztime=10s
 	$(GO) test ./internal/crc -fuzz=FuzzCRCSlicingEquivalence -fuzztime=10s
@@ -61,6 +62,7 @@ fuzz:
 	$(GO) test ./internal/roce -fuzz=FuzzRETHValidation -fuzztime=10s
 	$(GO) test ./internal/sim -fuzz=FuzzShardSchedule -fuzztime=10s
 	$(GO) test ./internal/telemetry/export -fuzz=FuzzEnvelopeRoundTrip -fuzztime=10s
+	$(GO) test ./internal/fabric -fuzz=FuzzSwitchArbitration -fuzztime=10s
 
 # soak runs the monitoring gate (DESIGN.md §14): the clean instrumented
 # scenario and the full quick chaos suite (sweeps + chaos scenario),
@@ -68,13 +70,18 @@ fuzz:
 # clean stream may only trip the loss-phase rules (out-discards,
 # fcs-err) and must trip out-discards (the 4% phase is deliberate); the
 # chaos stream must trip out-discards, remote-access and qp-errors, and
-# may additionally trip fcs-err and the no-progress watchdog. Any other
-# alert fails the target.
+# may additionally trip fcs-err and the no-progress watchdog. The
+# incast stream puts the PFC/ECN switch in the path (4→1 storm, DCQCN
+# enabled mid-run) and must trip the pfc-pause and ecn-marked rules;
+# resume-burst pool overflows may additionally trip out-discards. Any
+# other alert fails the target.
 soak:
 	$(GO) run ./cmd/strombench -quick -jsonl SOAK_clean.jsonl table1 > /dev/null
 	$(GO) run ./cmd/stromtail -allow 'out-discards|fcs-err' -require 'out-discards' SOAK_clean.jsonl
 	$(GO) run ./cmd/strombench -quick -chaos -jsonl SOAK_chaos.jsonl > /dev/null
 	$(GO) run ./cmd/stromtail -allow 'out-discards|fcs-err|remote-access|qp-errors|watchdog' -require 'out-discards|remote-access|qp-errors' SOAK_chaos.jsonl
+	$(GO) run ./cmd/strombench -quick -incast -jsonl SOAK_incast.jsonl table1 > /dev/null
+	$(GO) run ./cmd/stromtail -allow 'pfc-pause|ecn-marked|out-discards' -require 'pfc-pause|ecn-marked' SOAK_incast.jsonl
 
 # bench runs the microbenchmarks (macro benches plus the scheduler,
 # telemetry, packet and roce hot paths), then records bench snapshots:

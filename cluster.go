@@ -84,30 +84,47 @@ func (c *Cluster) ConnectDirect(a, b *Machine, cable Cable) (*QueuePair, error) 
 }
 
 // Switch is a store-and-forward Ethernet switch for topologies beyond
-// the paper's two directly-connected machines (e.g. multi-node shuffles).
+// the paper's two directly-connected machines (e.g. multi-node
+// shuffles): a shared-buffer output-queued model with optional PFC
+// pause/resume and ECN marking (see internal/fabric/switch.go).
 type Switch struct {
 	sw *fabric.Switch
 }
 
+// SwitchConfig re-exports the full switch configuration (shared buffer
+// pool, PFC watermarks, ECN threshold) for AddSwitchCfg.
+type SwitchConfig = fabric.SwitchConfig
+
 // AddSwitch creates a switch whose ports run at the cable's bandwidth
-// and add the given forwarding delay per frame.
+// and add the given forwarding delay per frame: unbounded buffering, no
+// PFC, no ECN — the historical lossless configuration.
 func (c *Cluster) AddSwitch(cable Cable, forwarding Duration) *Switch {
 	return &Switch{sw: fabric.NewSwitch(c.eng, cable, forwarding, nil)}
 }
 
-// Attach connects a machine to the switch.
-func (s *Switch) Attach(m *Machine) {
-	tx := s.sw.AttachPort(m.id.MAC, m.nic)
-	m.nic.SetTransmit(tx)
+// AddSwitchCfg creates a switch from a full SwitchConfig, enabling the
+// shared-buffer pool, PFC and ECN.
+func (c *Cluster) AddSwitchCfg(cfg SwitchConfig) *Switch {
+	return &Switch{sw: fabric.NewSwitchCfg(c.eng, cfg, nil)}
 }
 
-// SetEgressQueue bounds every egress queue to capFrames; zero selects
-// lossless (PFC) behaviour, the default. Incast beyond the queue bound
+// Attach connects a machine to the switch.
+func (s *Switch) Attach(m *Machine) {
+	port := s.sw.AttachPortOn(m.nic.Engine(), m.id.MAC, m.nic)
+	m.nic.SetTransmit(port.Send)
+}
+
+// SetEgressQueue bounds every egress queue to capFrames; zero restores
+// unbounded queues, the default. Incast beyond the queue bound
 // tail-drops and relies on RoCE retransmission.
 func (s *Switch) SetEgressQueue(capFrames int) { s.sw.SetEgressQueue(capFrames) }
 
-// Dropped reports frames tail-dropped toward a machine.
+// Dropped reports frames discarded at the port attached to a machine.
 func (s *Switch) Dropped(m *Machine) uint64 { return s.sw.Dropped(m.id.MAC) }
+
+// Fabric exposes the underlying fabric switch (port counters, health
+// scrapes).
+func (s *Switch) Fabric() *fabric.Switch { return s.sw }
 
 // CreateQueuePair connects one more QP pair between already-linked
 // machines.
@@ -148,6 +165,13 @@ func (m *Machine) Name() string { return m.name }
 
 // NIC exposes the underlying NIC (stats, advanced use).
 func (m *Machine) NIC() *NIC { return m.nic }
+
+// EnableDCQCN turns the DCQCN congestion-control loop on for this
+// machine's NIC with the default tuning: the stack reflects CNPs for
+// CE-marked deliveries (switch ECN marks) and rate-limits its senders
+// in response. Off by default, in which case the stack's behaviour is
+// byte-identical to the pre-DCQCN protocol engine.
+func (m *Machine) EnableDCQCN() { m.nic.Stack().EnableDCQCN(roce.DefaultDCQCN()) }
 
 // Memory exposes the machine's host memory.
 func (m *Machine) Memory() *Memory { return &Memory{m: m} }

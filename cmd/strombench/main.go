@@ -4,13 +4,19 @@
 // Usage:
 //
 //	strombench -list
-//	strombench [-quick|-full] [-chaos] [-seed N] [-j N] [-shards N]
+//	strombench [-quick|-full] [-chaos] [-incast] [-seed N] [-j N] [-shards N]
 //	           [-csv DIR] [-metrics FILE] [-trace FILE] [-jsonl FILE]
 //	           [-bench FILE] [-cpuprofile FILE] [-memprofile FILE] [exp ...]
 //
 // With no experiment names, everything runs in paper order followed by
 // the ablations. Experiment names are table1, table2, table3, resources,
 // fig5a...fig13b, abl-*, and chaos-*.
+//
+// -incast swaps the telemetry scenario for the switched incast storm
+// (experiments.WriteIncastTelemetryExports): four senders converge on
+// one switch port with a victim flow riding along, PFC and ECN engage,
+// and DCQCN is enabled mid-run — the scenario the pfc-pause and
+// ecn-marked alert rules are proven against.
 //
 // -chaos selects the fault-injection suite instead: with no names it
 // runs the chaos generators (bursty loss and link-flap sweeps, plus the
@@ -70,6 +76,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced iteration counts (smoke test)")
 	full := flag.Bool("full", false, "paper-scale inputs (Fig. 11 runs the real 128-1024 MB)")
 	chaosSuite := flag.Bool("chaos", false, "run the fault-injection suite; -metrics/-trace export the chaos scenario")
+	incastScenario := flag.Bool("incast", false, "export the switched incast-storm scenario from -metrics/-trace/-jsonl instead of the clean one")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	jobs := flag.Int("j", experiments.DefaultParallelism(), "experiment generators to run in parallel")
 	shards := flag.Int("shards", 0, "sharded testbed worker count (0 = single engine; output is byte-identical for every value >= 1)")
@@ -166,7 +173,11 @@ func main() {
 		fail(err)
 		return
 	}
-	if err := writeTelemetry(opts, *chaosSuite, *metricsOut, *traceOut, *jsonlOut); err != nil {
+	if *chaosSuite && *incastScenario {
+		fail(fmt.Errorf("-chaos and -incast select different telemetry scenarios; pick one"))
+		return
+	}
+	if err := writeTelemetry(opts, *chaosSuite, *incastScenario, *metricsOut, *traceOut, *jsonlOut); err != nil {
 		fail(err)
 		return
 	}
@@ -214,9 +225,9 @@ func allGenerators() []experiments.Generator {
 }
 
 // writeTelemetry runs the instrumented scenario once (the chaos one when
-// chaosSuite is set) and writes the requested exports. A no-op when
-// no export flag was given.
-func writeTelemetry(opts experiments.Options, chaosSuite bool, metricsPath, tracePath, jsonlPath string) error {
+// chaosSuite is set, the switched incast storm when incast is set) and
+// writes the requested exports. A no-op when no export flag was given.
+func writeTelemetry(opts experiments.Options, chaosSuite, incast bool, metricsPath, tracePath, jsonlPath string) error {
 	if metricsPath == "" && tracePath == "" && jsonlPath == "" {
 		return nil
 	}
@@ -249,6 +260,9 @@ func writeTelemetry(opts experiments.Options, chaosSuite bool, metricsPath, trac
 	scenario := experiments.WriteTelemetryExports
 	if chaosSuite {
 		scenario = experiments.WriteChaosTelemetryExports
+	}
+	if incast {
+		scenario = experiments.WriteIncastTelemetryExports
 	}
 	err = scenario(opts, metricsW, traceW, jsonlW)
 	for _, f := range files {

@@ -236,6 +236,10 @@ func (n *NIC) Health() (map[string]uint64, map[string]float64) {
 		"dma_stalled":        n.dma.Stats().StalledCmds,
 		"ops_posted":         st.OpsPosted,
 		"ops_completed":      st.OpsCompleted,
+		"ecn_marked_rx":      st.EcnMarkedRx,
+		"cnps_tx":            st.CnpsSent,
+		"cnps_rx":            st.CnpsReceived,
+		"paced_frames":       st.PacedFrames,
 	}
 	for c := mr.Class(0); c < mr.NumClasses; c++ {
 		v := n.mrt.FailCount(c)

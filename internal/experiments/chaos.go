@@ -38,6 +38,7 @@ func Chaos() []Generator {
 		{"chaos-flap", ChaosFlapSweep},
 		{"chaos-recovery", ChaosRecoverySweep},
 		{"chaos-protect", ChaosProtectSweep},
+		{"chaos-incast", ChaosIncastSweep},
 	}
 }
 

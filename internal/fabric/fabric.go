@@ -1,8 +1,8 @@
 // Package fabric models the Ethernet network between StRoM NICs: links
 // with serialization and propagation delay, optional loss/corruption
-// injection for exercising the retransmission path, and a simple
-// store-and-forward switch for topologies beyond the paper's two
-// directly-connected NICs.
+// injection for exercising the retransmission path, and an output-queued
+// shared-buffer switch with PFC and ECN (switch.go) for topologies
+// beyond the paper's two directly-connected NICs.
 package fabric
 
 import (
@@ -413,105 +413,5 @@ func (l *Link) UtilisationAtoB() float64 { return l.a.wire.Utilisation() }
 // sharded link this reads shard B's wire — only probe it from engine B.
 func (l *Link) UtilisationBtoA() float64 { return l.b.wire.Utilisation() }
 
-// Switch is a store-and-forward Ethernet switch that routes by
-// destination MAC. It exists for multi-node scenarios (e.g. shuffling
-// across several machines); the paper's experiments use direct links.
-//
-// Egress ports can be configured with a finite queue. With Priority Flow
-// Control (the lossless mode the paper's Ethernet core supports for
-// Converged Ethernet, §4.1) queues never overflow; without it, incast —
-// several senders converging on one port — tail-drops frames and leaves
-// recovery to the RoCE retransmission path.
-type Switch struct {
-	eng      *sim.Engine
-	cfg      LinkConfig
-	latency  sim.Duration
-	ports    map[packet.MAC]*egressPort
-	tracer   *sim.Tracer
-	queueCap int // frames per egress queue; 0 = lossless (PFC)
-}
-
-// egressPort is one output port with its (possibly bounded) queue.
-type egressPort struct {
-	dir     *direction
-	queued  int
-	dropped uint64
-}
-
-// NewSwitch creates a switch whose ports all run at cfg's bandwidth and
-// that adds latency of forwarding delay per frame.
-func NewSwitch(eng *sim.Engine, cfg LinkConfig, forwarding sim.Duration, tracer *sim.Tracer) *Switch {
-	return &Switch{
-		eng:     eng,
-		cfg:     cfg,
-		latency: forwarding,
-		ports:   make(map[packet.MAC]*egressPort),
-		tracer:  tracer,
-	}
-}
-
-// SetEgressQueue bounds every egress queue to capFrames; zero restores
-// lossless (PFC) behaviour. Applies to frames forwarded afterwards.
-func (s *Switch) SetEgressQueue(capFrames int) { s.queueCap = capFrames }
-
-// Dropped reports frames tail-dropped at the egress toward mac.
-func (s *Switch) Dropped(mac packet.MAC) uint64 {
-	if p, ok := s.ports[mac]; ok {
-		return p.dropped
-	}
-	return 0
-}
-
-// AttachPort connects an endpoint with the given MAC to the switch and
-// returns the transmit function the endpoint uses.
-func (s *Switch) AttachPort(mac packet.MAC, ep Endpoint) func(frame []byte) {
-	// Egress direction toward this endpoint.
-	s.ports[mac] = &egressPort{dir: newDirection(
-		s.eng, s.eng, s.cfg.BandwidthGbps, s.cfg.Propagation, ep, s.tracer,
-	)}
-	ingress := sim.NewSerializer(s.eng)
-	return func(frame []byte) {
-		end := ingress.Reserve(sim.BytesAt(len(frame)+packet.EthFramingOverhead, s.cfg.BandwidthGbps))
-		buf := packet.CloneFrame(frame)
-		s.eng.ScheduleAt(end.Add(s.cfg.Propagation+s.latency), func() {
-			// forward re-clones for the egress wire, so the ingress
-			// copy can be recycled as soon as it returns.
-			s.forward(buf)
-			packet.PutBuf(buf)
-		})
-	}
-}
-
-// forward routes a frame to its destination port, tail-dropping when the
-// egress queue is bounded and full.
-func (s *Switch) forward(frame []byte) {
-	if len(frame) < 6 {
-		return
-	}
-	var dst packet.MAC
-	copy(dst[:], frame[0:6])
-	port, ok := s.ports[dst]
-	if !ok {
-		s.tracer.Logf("switch: no port for %v, dropping", dst)
-		return
-	}
-	if s.queueCap > 0 && port.queued >= s.queueCap {
-		port.dropped++
-		s.tracer.Logf("switch: egress %v full (%d frames), tail drop", dst, port.queued)
-		return
-	}
-	port.queued++
-	wireTime := sim.BytesAt(len(frame)+packet.EthFramingOverhead, s.cfg.BandwidthGbps)
-	drainAt := port.dir.wire.NextFree()
-	if now := s.eng.Now(); drainAt < now {
-		drainAt = now
-	}
-	// The slot leaves the queue when its wire transmission begins.
-	s.eng.ScheduleAt(drainAt.Add(wireTime), func() { port.queued-- })
-	port.dir.send(frame)
-}
-
-// String describes the switch.
-func (s *Switch) String() string {
-	return fmt.Sprintf("switch(%d ports, %.0f Gbit/s)", len(s.ports), s.cfg.BandwidthGbps)
-}
+// The store-and-forward Switch (shared-buffer accounting, PFC, ECN)
+// lives in switch.go.

@@ -87,6 +87,18 @@ const (
 	SynNAKRemoteAccess = 0x62 // memory protection violation (rkey/bounds/permission)
 )
 
+// ECN codepoints carried in the two low bits of the IPv4 TOS byte
+// (RFC 3168). The simulated stack transmits Not-ECT (the byte stays
+// zero, keeping historical frames bit-identical); a congested switch
+// sets CE in flight and patches the IPv4 header checksum, which is
+// legal mid-path because the ICRC covers only the IB transport portion.
+const (
+	ECNNotECT uint8 = 0 // not ECN-capable transport
+	ECNECT1   uint8 = 1 // ECN-capable transport (1)
+	ECNECT0   uint8 = 2 // ECN-capable transport (0)
+	ECNCE     uint8 = 3 // congestion experienced
+)
+
 // Packet is a fully parsed RoCE v2 packet. Optional headers are nil when
 // absent. Payload excludes all headers and the ICRC.
 type Packet struct {
@@ -95,6 +107,7 @@ type Packet struct {
 	// IPv4
 	SrcIP, DstIP IPv4
 	TTL          uint8
+	ECN          uint8 // ECN codepoint (TOS low bits)
 	// UDP
 	SrcPort, DstPort uint16
 	// Infiniband
@@ -118,6 +131,16 @@ func (p *Packet) SetAck(destQP, psn uint32, syndrome uint8, msn uint32) *Packet 
 	p.BTH = BTH{Opcode: OpAcknowledge, DestQP: destQP, PSN: psn}
 	p.aethStore = AETH{Syndrome: syndrome, MSN: msn}
 	p.AETH = &p.aethStore
+	return p
+}
+
+// SetCNP fills p as a Congestion Notification Packet aimed at the
+// remote queue pair destQP. CNPs carry no extended headers and no
+// payload, sit outside the PSN space, and are never retransmitted —
+// they are the NP→RP half of the DCQCN loop.
+func (p *Packet) SetCNP(destQP uint32) *Packet {
+	p.Reset()
+	p.BTH = BTH{Opcode: OpCNP, DestQP: destQP}
 	return p
 }
 
@@ -184,8 +207,8 @@ func (p *Packet) EncodeTo(buf []byte) []byte {
 	// IPv4.
 	ip := buf[EthHeaderLen:]
 	totalLen := IPv4HeaderLen + UDPHeaderLen + p.ibLen()
-	ip[0] = 0x45 // version 4, IHL 5
-	ip[1] = 0
+	ip[0] = 0x45      // version 4, IHL 5
+	ip[1] = p.ECN & 3 // DSCP zero; ECN codepoint in the low bits
 	binary.BigEndian.PutUint16(ip[2:4], uint16(totalLen))
 	binary.BigEndian.PutUint16(ip[4:6], 0) // identification
 	binary.BigEndian.PutUint16(ip[6:8], 0x4000)
@@ -304,6 +327,7 @@ func DecodeInto(p *Packet, buf []byte) error {
 		return ErrTruncated
 	}
 	p.TTL = ip[8]
+	p.ECN = ip[1] & 3
 	p.SrcIP = IPv4(binary.BigEndian.Uint32(ip[12:16]))
 	p.DstIP = IPv4(binary.BigEndian.Uint32(ip[16:20]))
 	udp := ip[IPv4HeaderLen:]
@@ -361,6 +385,35 @@ func DecodeInto(p *Packet, buf []byte) error {
 		return ErrBadPayload
 	}
 	return nil
+}
+
+// MarkCongestion sets the ECN Congestion Experienced codepoint on an
+// already-encoded frame and repairs the IPv4 header checksum in place.
+// The ICRC is untouched on purpose: it covers only the IB transport
+// portion, exactly so that switches can mark ECN mid-flight without
+// invalidating end-to-end integrity. Returns false when the buffer is
+// too short to hold an IPv4 header.
+func MarkCongestion(frame []byte) bool {
+	if len(frame) < EthHeaderLen+IPv4HeaderLen {
+		return false
+	}
+	ip := frame[EthHeaderLen : EthHeaderLen+IPv4HeaderLen]
+	if ip[1]&3 == ECNCE {
+		return true
+	}
+	ip[1] = ip[1]&^3 | ECNCE
+	binary.BigEndian.PutUint16(ip[10:12], 0)
+	binary.BigEndian.PutUint16(ip[10:12], ipChecksum(ip))
+	return true
+}
+
+// FrameECN reports the ECN codepoint of an encoded frame (ECNNotECT for
+// buffers too short to carry an IPv4 header).
+func FrameECN(frame []byte) uint8 {
+	if len(frame) < EthHeaderLen+IPv4HeaderLen {
+		return ECNNotECT
+	}
+	return frame[EthHeaderLen+1] & 3
 }
 
 // ipChecksum computes the 16-bit one's-complement IPv4 header checksum.

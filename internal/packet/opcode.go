@@ -42,6 +42,12 @@ const (
 	opRPCReservedHi Opcode = 0x1F
 )
 
+// OpCNP is the RoCE v2 Congestion Notification Packet (CNP) op-code:
+// transport class CNP (0x81). A CNP carries BTH only — no extended
+// headers, no payload — and sits outside the PSN space, so it is never
+// acknowledged or retransmitted. It is the NP→RP signal of DCQCN.
+const OpCNP Opcode = 0x81
+
 // String returns the op-code mnemonic.
 func (o Opcode) String() string {
 	switch o {
@@ -75,6 +81,8 @@ func (o Opcode) String() string {
 		return "RPC_WRITE_LAST"
 	case OpRPCWriteOnly:
 		return "RPC_WRITE_ONLY"
+	case OpCNP:
+		return "CNP"
 	}
 	if o >= opRPCReservedLo && o <= opRPCReservedHi {
 		return fmt.Sprintf("RPC_RESERVED(%#02x)", uint8(o))
@@ -91,6 +99,8 @@ func (o Opcode) Valid() bool {
 	case o >= OpReadRequest && o <= OpAcknowledge:
 		return true
 	case o.IsStRoM():
+		return true
+	case o == OpCNP:
 		return true
 	}
 	return false
@@ -133,7 +143,7 @@ func (o Opcode) HasAETH() bool {
 // HasPayload reports whether packets with this op-code carry payload.
 func (o Opcode) HasPayload() bool {
 	switch o {
-	case OpReadRequest, OpAcknowledge:
+	case OpReadRequest, OpAcknowledge, OpCNP:
 		return false
 	}
 	return true
@@ -148,7 +158,7 @@ func (o Opcode) IsFirst() bool {
 func (o Opcode) IsLast() bool {
 	switch o {
 	case OpWriteLast, OpWriteOnly, OpReadRespLast, OpReadRespOnly,
-		OpRPCParams, OpRPCWriteLast, OpRPCWriteOnly, OpReadRequest, OpAcknowledge:
+		OpRPCParams, OpRPCWriteLast, OpRPCWriteOnly, OpReadRequest, OpAcknowledge, OpCNP:
 		return true
 	}
 	return false

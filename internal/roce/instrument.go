@@ -50,6 +50,10 @@ func (s *Stack) AttachTelemetry(reg *telemetry.Registry, tb *telemetry.TraceBuff
 			reg.Counter("roce_deadline_expired", nic).Set(st.DeadlineExpired)
 			reg.Counter("roce_ops_posted", nic).Set(st.OpsPosted)
 			reg.Counter("roce_ops_completed", nic).Set(st.OpsCompleted)
+			reg.Counter("roce_ecn_marked_rx", nic).Set(st.EcnMarkedRx)
+			reg.Counter("roce_cnps_sent", nic).Set(st.CnpsSent)
+			reg.Counter("roce_cnps_received", nic).Set(st.CnpsReceived)
+			reg.Counter("roce_paced_frames", nic).Set(st.PacedFrames)
 			s.EachActiveQP(func(qpn uint32) {
 				reg.Gauge("roce_qp_state", nic,
 					telemetry.L("qp", strconv.Itoa(int(qpn)))).Set(float64(s.st.qps[qpn].state))

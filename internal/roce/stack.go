@@ -74,6 +74,10 @@ type Stats struct {
 	NaksRemoteAccess uint64 // SynNAKRemoteAccess sent (memory protection violations)
 	OpsPosted        uint64 // verbs accepted by the requester path
 	OpsCompleted     uint64 // verbs finished (success or error)
+	EcnMarkedRx      uint64 // delivered frames carrying the ECN CE mark
+	CnpsSent         uint64 // congestion notifications reflected (NP side)
+	CnpsReceived     uint64 // congestion notifications received (RP side)
+	PacedFrames      uint64 // requester frames delayed by the DCQCN rate limiter
 }
 
 // Request failure modes.
@@ -121,6 +125,11 @@ type Stack struct {
 	// frozen marks the whole stack dead (machine crash, see recovery.go):
 	// every post fails and every received frame is discarded.
 	frozen bool
+
+	// cc is the DCQCN congestion-control state, nil unless EnableDCQCN
+	// was called. While nil the stack takes no DCQCN branch anywhere,
+	// keeping runs byte-identical to the pre-DCQCN behaviour.
+	cc *dcqcnControl
 
 	// Scratch packets for the zero-alloc hot path: rxPkt is reparsed for
 	// every received frame (DecodeInto), ackPkt rebuilt for every
@@ -228,6 +237,23 @@ func (s *Stack) address(st *qpState, pkt *packet.Packet) {
 // draining through the pipeline. With recycle, the frame buffer goes
 // back to the pool once transmitted (the fabric copies frames on send).
 func (s *Stack) sendFrame(st *qpState, frame []byte, words int, recycle bool) {
+	// DCQCN pacing applies to requester (retained) frames only: ACKs,
+	// NAKs, read responses and CNPs are recycle frames and bypass the
+	// rate limiter, exactly as hardware keeps the responder unpaced.
+	if s.cc != nil && !recycle {
+		if start := s.paceFrame(st, len(frame)); start > s.eng.Now() {
+			s.stats.PacedFrames++
+			s.eng.ScheduleAt(start, func() { s.dispatchFrame(st, frame, words, recycle) })
+			return
+		}
+	}
+	s.dispatchFrame(st, frame, words, recycle)
+}
+
+// dispatchFrame enters the TX pipeline proper. Reservation end times
+// are monotone in call order (the serializer never goes backwards), so
+// txq drains still fire in push order even when pacing delays a frame.
+func (s *Stack) dispatchFrame(st *qpState, frame []byte, words int, recycle bool) {
 	end := s.txPath.Reserve(s.cfg.Cycles(words))
 	s.txq.Push(txDone{st: st, frame: frame, recycle: recycle})
 	s.eng.ScheduleAt(end.Add(s.cfg.Cycles(s.cfg.TxFixedCycles)), s.txDrainFn)
@@ -553,7 +579,17 @@ func (s *Stack) process(frame []byte) {
 		return
 	}
 	op := pkt.BTH.Opcode
+	if pkt.ECN == packet.ECNCE {
+		// A switch on the path CE-marked this frame: note it and (when
+		// DCQCN is on) reflect a CNP back to the sender.
+		s.stats.EcnMarkedRx++
+		if op != packet.OpCNP {
+			s.noteCongestion(st)
+		}
+	}
 	switch {
+	case op == packet.OpCNP:
+		s.handleCNP(pkt.BTH.DestQP, st)
 	case op == packet.OpAcknowledge:
 		s.handleAck(pkt.BTH.DestQP, st, pkt)
 	case op.IsReadResponse():

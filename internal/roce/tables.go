@@ -57,6 +57,10 @@ type qpState struct {
 	retries    int
 	progress   uint64 // bumped on any QP activity; defers the retransmission timer
 	remoteRKey uint32 // default rkey stamped on posts that pass RKey 0
+
+	// DCQCN rate state, lazily allocated when the stack has congestion
+	// control enabled (see dcqcn.go). nil otherwise.
+	cc *dcqcnQP
 }
 
 // recentRead remembers an executed read request so a duplicate (retried)

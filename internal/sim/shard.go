@@ -29,12 +29,14 @@ import (
 // whether the group runs on one goroutine or many.
 
 // crossEvent is an event posted from one shard to another, parked in the
-// source shard's outbox until the window barrier.
+// source shard's outbox until the window barrier. postAt is the source
+// shard's clock at posting time, kept for per-link lookahead validation.
 type crossEvent struct {
-	at  Time
-	dst int32
-	src int32
-	fn  func()
+	at     Time
+	postAt Time
+	dst    int32
+	src    int32
+	fn     func()
 }
 
 // ShardGroup runs a set of engines (shards) as one simulation under
@@ -50,6 +52,7 @@ type ShardGroup struct {
 	outbox    [][]crossEvent // indexed by source shard
 	merged    []crossEvent   // barrier scratch, reused across windows
 	lookahead Duration
+	linkLA    map[[2]int32]Duration // optional per-link lookahead declarations
 	workers   int
 
 	windows  uint64 // barrier windows executed
@@ -111,6 +114,28 @@ func (g *ShardGroup) Shards() int { return len(g.shards) }
 // Lookahead returns the conservative lookahead bound.
 func (g *ShardGroup) Lookahead() Duration { return g.lookahead }
 
+// SetLinkLookahead declares the src→dst cross-shard link's own minimum
+// latency. The group lookahead stays the window width (soundness needs
+// only the global minimum), but every cross event on a declared link is
+// additionally validated against the link's tighter bound at the
+// barrier, so a topology with heterogeneous links (a shard-per-machine
+// star hanging off switch ports, say) catches a component that posts
+// with less delay than its cable provides. d must be ≥ the group
+// lookahead — a smaller value would mean the group lookahead itself is
+// unsound for the topology.
+func (g *ShardGroup) SetLinkLookahead(src, dst *Engine, d Duration) {
+	if src.group != g || dst.group != g {
+		panic("sim: SetLinkLookahead engines must belong to this group")
+	}
+	if d < g.lookahead {
+		panic(fmt.Sprintf("sim: link lookahead %v below group lookahead %v", d, g.lookahead))
+	}
+	if g.linkLA == nil {
+		g.linkLA = make(map[[2]int32]Duration)
+	}
+	g.linkLA[[2]int32{src.shardIdx, dst.shardIdx}] = d
+}
+
 // SetWorkers caps the number of goroutines executing shards within a
 // window. Values outside [1, Shards()] are clamped. The worker count
 // never affects simulation results, only wall-clock time.
@@ -165,7 +190,9 @@ func (g *ShardGroup) Now() Time {
 // Only called from within src's event callbacks (single goroutine per
 // shard), so outboxes need no locking.
 func (g *ShardGroup) post(src int32, dst int32, at Time, fn func()) {
-	g.outbox[src] = append(g.outbox[src], crossEvent{at: at, dst: dst, src: src, fn: fn})
+	g.outbox[src] = append(g.outbox[src], crossEvent{
+		at: at, postAt: g.shards[src].Now(), dst: dst, src: src, fn: fn,
+	})
 }
 
 // Run executes the simulation to completion: windows of width lookahead
@@ -320,6 +347,10 @@ func (g *ShardGroup) drainOutboxes(window Time) {
 		if ce.at < window {
 			panic(fmt.Sprintf("sim: lookahead violated: cross-shard event from shard %d to %d at %v inside window ending %v",
 				ce.src, ce.dst, ce.at, window))
+		}
+		if la, ok := g.linkLA[[2]int32{ce.src, ce.dst}]; ok && ce.at < ce.postAt.Add(la) {
+			panic(fmt.Sprintf("sim: link lookahead violated: shard %d posted to %d at %v for %v, link bound %v",
+				ce.src, ce.dst, ce.postAt, ce.at, la))
 		}
 		g.shards[ce.dst].ScheduleAt(ce.at, ce.fn)
 		g.crossed++

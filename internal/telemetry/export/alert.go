@@ -72,6 +72,8 @@ func DefaultRules() []Rule {
 	return []Rule{
 		{Name: "out-discards", Metric: "out_discards", Kind: Rate, Op: "gt", Value: 2, For: 500 * sim.Microsecond},
 		{Name: "fcs-err", Metric: "fcs_err", Kind: Rate, Op: "gt", Value: 1, For: 500 * sim.Microsecond},
+		{Name: "pfc-pause", Metric: "pfc_pause_tx", Kind: Rate, Op: "gt", Value: 1, For: 500 * sim.Microsecond},
+		{Name: "ecn-marked", Metric: "ecn_marked", Kind: Rate, Op: "gt", Value: 2, For: 500 * sim.Microsecond},
 		{Name: "remote-access", Metric: "remote_access_naks", Kind: Threshold, Op: "gt", Value: 0},
 		{Name: "qp-errors", Metric: "qp_errors", Kind: Threshold, Op: "gt", Value: 0},
 		{Name: "watchdog", Metric: "ops_completed", Kind: NoProgress, For: 2 * sim.Millisecond, While: "outstanding_ops"},

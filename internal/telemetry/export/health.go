@@ -53,6 +53,28 @@ package export
 //
 // and gauge `utilisation` (wire occupancy since time zero).
 //
+// Switch port (fabric.Switch.PortHealth — one report per port of a
+// shared-buffer switch):
+//
+//	in_frames, in_bytes  frames arriving at the port's ingress
+//	out_frames, out_bytes frames sent on the port's egress wire
+//	out_discards         total frames dropped at this port, broken down
+//	                     by cause into out_discards_overflow (shared
+//	                     pool exhausted), out_discards_threshold
+//	                     (per-port dynamic threshold), out_discards_egress
+//	                     (legacy bounded egress queue tail drop) and
+//	                     out_discards_no_route (unknown destination MAC)
+//	pfc_pause_tx/pfc_resume_tx  PFC control frames emitted toward the
+//	                     attached NIC when the per-(port,priority)
+//	                     buffer usage crosses the watermarks
+//	ecn_marked           frames CE-marked at this egress queue
+//
+// and gauges `egress_queue_bytes`, `egress_queue_frames`,
+// `ingress_used_bytes` and `utilisation`. The NIC-side attachment
+// (fabric.Port.Health) mirrors the control plane from the receiving
+// end: counters pfc_pause_rx/pfc_resume_rx/frames_held and gauges
+// `held_frames`/`paused`.
+//
 // A scrape must be cheap but need not be allocation-free: it runs at
 // the probe interval, not per packet.
 
