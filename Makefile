@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race cover recovery protect determinism fuzz bench bench-diff soak
+.PHONY: check vet build test race cover recovery protect determinism fuzz bench bench-diff soak kv
 
 # check is the everyday gate: build plus the full -race suite, which
 # includes the sharded determinism tests (TestSharded* in
@@ -44,10 +44,19 @@ protect:
 
 # determinism runs the sharded-engine determinism suite on its own under
 # the race detector: worker-count invariance of every figure generator,
-# the telemetry/trace exports, the chaos schedule digest, and the
-# ShardGroup window/barrier machinery.
+# the telemetry/trace exports (including the chaos-kv stream), the chaos
+# schedule digest, the sharded KV stream, and the ShardGroup
+# window/barrier machinery.
 determinism:
-	$(GO) test -race -count=1 -run 'Shard|Deterministic' ./internal/sim ./internal/testrig ./internal/experiments
+	$(GO) test -race -count=1 -run 'Shard|Deterministic|ByteIdentical' ./internal/sim ./internal/testrig ./internal/experiments ./internal/kvserve
+
+# kv runs the replicated-KV suite on its own under the race detector:
+# slot codec and layout, clean protocol semantics, failover edge cases,
+# the sharded streaming cluster, the Pilaf-table tombstone machinery,
+# and the chaos-kv sweep with its JSONL alert assertions.
+kv:
+	$(GO) test -race ./internal/kvserve ./internal/kvstore
+	$(GO) test -race -run 'KV' ./internal/experiments
 
 # fuzz smoke-runs the checked-in fuzzers for 10s each on top of their
 # seed corpora (packet header round-trip, CRC slicing equivalence, QP
@@ -68,20 +77,29 @@ fuzz:
 # scenario and the full quick chaos suite (sweeps + chaos scenario),
 # each streaming JSONL telemetry that stromtail then gates on. The
 # clean stream may only trip the loss-phase rules (out-discards,
-# fcs-err) and must trip out-discards (the 4% phase is deliberate); the
-# chaos stream must trip out-discards, remote-access and qp-errors, and
-# may additionally trip fcs-err and the no-progress watchdog. The
-# incast stream puts the PFC/ECN switch in the path (4→1 storm, DCQCN
-# enabled mid-run) and must trip the pfc-pause and ecn-marked rules;
-# resume-burst pool overflows may additionally trip out-discards. Any
+# fcs-err, and their per-QP retransmission view retry-storm) and must
+# trip out-discards (the 4% phase is deliberate); the chaos stream must
+# trip out-discards, remote-access and qp-errors, and may additionally
+# trip fcs-err, retry-storm and the no-progress watchdog. The incast
+# stream puts the PFC/ECN switch in the path (4→1 storm, DCQCN enabled
+# mid-run) and must trip the pfc-pause and ecn-marked rules;
+# resume-burst pool overflows may additionally trip out-discards and,
+# through the retransmissions those discards force, retry-storm. The
+# kv stream runs the replicated-KV storm regime (loss + crash cycles +
+# incast blast + rogue) and must trip kv-heartbeat — that alert IS the
+# failure detector the failover controller runs on — and retry-storm;
+# the rest of its allowlist is the chaos fallout (crash-flushed QPs,
+# rogue NAKs, discarded in-flight frames, failover latency tails). Any
 # other alert fails the target.
 soak:
 	$(GO) run ./cmd/strombench -quick -jsonl SOAK_clean.jsonl table1 > /dev/null
-	$(GO) run ./cmd/stromtail -allow 'out-discards|fcs-err' -require 'out-discards' SOAK_clean.jsonl
+	$(GO) run ./cmd/stromtail -allow 'out-discards|fcs-err|retry-storm' -require 'out-discards' SOAK_clean.jsonl
 	$(GO) run ./cmd/strombench -quick -chaos -jsonl SOAK_chaos.jsonl > /dev/null
-	$(GO) run ./cmd/stromtail -allow 'out-discards|fcs-err|remote-access|qp-errors|watchdog' -require 'out-discards|remote-access|qp-errors' SOAK_chaos.jsonl
+	$(GO) run ./cmd/stromtail -allow 'out-discards|fcs-err|remote-access|qp-errors|watchdog|retry-storm' -require 'out-discards|remote-access|qp-errors' SOAK_chaos.jsonl
 	$(GO) run ./cmd/strombench -quick -incast -jsonl SOAK_incast.jsonl table1 > /dev/null
-	$(GO) run ./cmd/stromtail -allow 'pfc-pause|ecn-marked|out-discards' -require 'pfc-pause|ecn-marked' SOAK_incast.jsonl
+	$(GO) run ./cmd/stromtail -allow 'pfc-pause|ecn-marked|out-discards|retry-storm' -require 'pfc-pause|ecn-marked' SOAK_incast.jsonl
+	$(GO) run ./cmd/strombench -quick -kv -jsonl SOAK_kv.jsonl > /dev/null
+	$(GO) run ./cmd/stromtail -allow 'out-discards|retry-storm|kv-heartbeat|qp-errors|remote-access|watchdog|pfc-pause|ecn-marked|op-latency-p99|fcs-err' -require 'kv-heartbeat|retry-storm' SOAK_kv.jsonl
 
 # bench runs the microbenchmarks (macro benches plus the scheduler,
 # telemetry, packet and roce hot paths), then records bench snapshots:

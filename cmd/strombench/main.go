@@ -4,7 +4,7 @@
 // Usage:
 //
 //	strombench -list
-//	strombench [-quick|-full] [-chaos] [-incast] [-seed N] [-j N] [-shards N]
+//	strombench [-quick|-full] [-chaos] [-incast] [-kv] [-seed N] [-j N] [-shards N]
 //	           [-csv DIR] [-metrics FILE] [-trace FILE] [-jsonl FILE]
 //	           [-bench FILE] [-cpuprofile FILE] [-memprofile FILE] [exp ...]
 //
@@ -17,6 +17,13 @@
 // one switch port with a victim flow riding along, PFC and ECN engage,
 // and DCQCN is enabled mid-run — the scenario the pfc-pause and
 // ecn-marked alert rules are proven against.
+//
+// -kv selects the replicated-KV robustness gate: with no names it runs
+// the chaos-kv sweep (sharded primary-backup KV cluster under loss,
+// crash cycles and an incast storm, failing on any exactly-once
+// violation), and -metrics/-trace/-jsonl export the storm-regime KV
+// scenario — the stream the kv-heartbeat failure detector and the
+// retry-storm rule are proven against.
 //
 // -chaos selects the fault-injection suite instead: with no names it
 // runs the chaos generators (bursty loss and link-flap sweeps, plus the
@@ -77,6 +84,7 @@ func main() {
 	full := flag.Bool("full", false, "paper-scale inputs (Fig. 11 runs the real 128-1024 MB)")
 	chaosSuite := flag.Bool("chaos", false, "run the fault-injection suite; -metrics/-trace export the chaos scenario")
 	incastScenario := flag.Bool("incast", false, "export the switched incast-storm scenario from -metrics/-trace/-jsonl instead of the clean one")
+	kvScenario := flag.Bool("kv", false, "run the chaos-kv sweep; -metrics/-trace/-jsonl export the replicated-KV storm scenario")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	jobs := flag.Int("j", experiments.DefaultParallelism(), "experiment generators to run in parallel")
 	shards := flag.Int("shards", 0, "sharded testbed worker count (0 = single engine; output is byte-identical for every value >= 1)")
@@ -152,7 +160,9 @@ func main() {
 	names := flag.Args()
 	preamble := false
 	if len(names) == 0 {
-		if *chaosSuite {
+		if *kvScenario {
+			names = append(names, "chaos-kv")
+		} else if *chaosSuite {
 			for _, g := range experiments.Chaos() {
 				names = append(names, g.Name)
 			}
@@ -173,11 +183,17 @@ func main() {
 		fail(err)
 		return
 	}
-	if *chaosSuite && *incastScenario {
-		fail(fmt.Errorf("-chaos and -incast select different telemetry scenarios; pick one"))
+	scenarios := 0
+	for _, b := range []bool{*chaosSuite, *incastScenario, *kvScenario} {
+		if b {
+			scenarios++
+		}
+	}
+	if scenarios > 1 {
+		fail(fmt.Errorf("-chaos, -incast and -kv select different telemetry scenarios; pick one"))
 		return
 	}
-	if err := writeTelemetry(opts, *chaosSuite, *incastScenario, *metricsOut, *traceOut, *jsonlOut); err != nil {
+	if err := writeTelemetry(opts, *chaosSuite, *incastScenario, *kvScenario, *metricsOut, *traceOut, *jsonlOut); err != nil {
 		fail(err)
 		return
 	}
@@ -225,9 +241,10 @@ func allGenerators() []experiments.Generator {
 }
 
 // writeTelemetry runs the instrumented scenario once (the chaos one when
-// chaosSuite is set, the switched incast storm when incast is set) and
-// writes the requested exports. A no-op when no export flag was given.
-func writeTelemetry(opts experiments.Options, chaosSuite, incast bool, metricsPath, tracePath, jsonlPath string) error {
+// chaosSuite is set, the switched incast storm when incast is set, the
+// replicated-KV storm when kv is set) and writes the requested exports.
+// A no-op when no export flag was given.
+func writeTelemetry(opts experiments.Options, chaosSuite, incast, kv bool, metricsPath, tracePath, jsonlPath string) error {
 	if metricsPath == "" && tracePath == "" && jsonlPath == "" {
 		return nil
 	}
@@ -263,6 +280,9 @@ func writeTelemetry(opts experiments.Options, chaosSuite, incast bool, metricsPa
 	}
 	if incast {
 		scenario = experiments.WriteIncastTelemetryExports
+	}
+	if kv {
+		scenario = experiments.WriteKVTelemetryExports
 	}
 	err = scenario(opts, metricsW, traceW, jsonlW)
 	for _, f := range files {

@@ -335,6 +335,48 @@ func (j *Injector) ScheduleDigest() uint64 {
 	return d.Sum64()
 }
 
+// FaultSite is a standalone single-direction fault injector for
+// topologies beyond the two-machine Plan: an N-machine switched fabric
+// installs one FaultSite per impaired direction (a machine's uplink via
+// fabric.Port.SetFaults, a switch egress via Switch.SetEgressFaults).
+// Like an Injector site it draws every decision from the owning
+// engine's RNG — construct it with the engine that judges the direction
+// (the NIC engine for uplinks, the switch engine for egress wires) —
+// and it keeps the same bounded record log and unbounded schedule
+// digest, so a set of FaultSites folded in a fixed order pins the fault
+// schedule exactly as Injector.ScheduleDigest does.
+type FaultSite struct {
+	d dirState
+}
+
+// NewFaultSite builds a fault site named where (its Record label) on
+// eng's clock and RNG. flaps windows drop every frame inside them;
+// logLimit bounds the retained record log (default 4096).
+func NewFaultSite(eng *sim.Engine, where string, f LinkFaults, flaps []Window, logLimit int) *FaultSite {
+	if logLimit <= 0 {
+		logLimit = 4096
+	}
+	ws := append([]Window(nil), flaps...)
+	sort.Slice(ws, func(i, j int) bool { return ws[i].At < ws[j].At })
+	return &FaultSite{d: dirState{
+		site:  newSite(eng, where, logLimit),
+		f:     f,
+		flaps: windowCursor{ws: ws},
+	}}
+}
+
+// Judge implements fabric.FaultInjector.
+func (s *FaultSite) Judge(now sim.Time, frameLen int) fabric.Verdict { return s.d.judge(now) }
+
+// Stats returns the site's fault counters.
+func (s *FaultSite) Stats() Stats { return s.d.st }
+
+// Records returns the retained fault log (bounded by logLimit).
+func (s *FaultSite) Records() []Record { return append([]Record(nil), s.d.log...) }
+
+// Digest returns the CRC64 over every fault the site ever injected.
+func (s *FaultSite) Digest() uint64 { return s.d.digest.Sum64() }
+
 // AttachTelemetry mirrors the fault counters into a metrics registry.
 // Collection runs after the simulation (or between barriers), so the
 // cross-site sum is safe there.

@@ -251,9 +251,13 @@ func (n *NIC) Health() (map[string]uint64, map[string]float64) {
 		"outstanding_ops": float64(st.OpsPosted - st.OpsCompleted),
 	}
 	n.stack.EachActiveQP(func(qpn uint32) {
+		qp := "qp" + strconv.FormatUint(uint64(qpn), 10)
 		if state, err := n.stack.QPStateOf(qpn); err == nil {
-			gauges["qp"+strconv.FormatUint(uint64(qpn), 10)+"_state"] = float64(state)
+			gauges[qp+"_state"] = float64(state)
 		}
+		// Per-QP retransmission counters feed the retry-storm rate rule;
+		// the counter lives outside qpState so QP resets never rewind it.
+		counters[qp+"_retransmissions"] = n.stack.QPRetransmissions(qpn)
 	})
 	return counters, gauges
 }

@@ -39,6 +39,7 @@ func Chaos() []Generator {
 		{"chaos-recovery", ChaosRecoverySweep},
 		{"chaos-protect", ChaosProtectSweep},
 		{"chaos-incast", ChaosIncastSweep},
+		{"chaos-kv", ChaosKVSweep},
 	}
 }
 

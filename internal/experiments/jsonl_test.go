@@ -15,10 +15,13 @@ import (
 
 // The alert rules each canonical scenario is allowed (and in part
 // required) to trip — anything else firing is a regression. These are
-// the same allowlists the soak flow passes to stromtail.
+// the same allowlists the soak flow passes to stromtail. retry-storm is
+// the per-QP view of the same loss phases that trip out-discards: a 4%
+// burst regime pushes go-back-N well past 20 retransmissions per
+// window, so both scenarios legitimately trip it.
 var (
-	scenarioAllow = regexp.MustCompile(`^(out-discards|fcs-err)$`)
-	chaosAllow    = regexp.MustCompile(`^(out-discards|fcs-err|remote-access|qp-errors|watchdog)$`)
+	scenarioAllow = regexp.MustCompile(`^(out-discards|fcs-err|retry-storm)$`)
+	chaosAllow    = regexp.MustCompile(`^(out-discards|fcs-err|remote-access|qp-errors|watchdog|retry-storm)$`)
 )
 
 // runJSONL runs the instrumented scenario's streaming export.

@@ -146,6 +146,12 @@ func (s *Switch) PortMAC(i int) packet.MAC { return s.ports[i].mac }
 // switch engine's context in sharded topologies.
 func (s *Switch) PortStats(i int) SwitchPortStats { return s.ports[i].stats }
 
+// SetEgressFaults installs a fault injector on port i's egress wire
+// (switch→NIC direction); nil removes it. The injector is judged on the
+// switch's engine, so in a sharded topology it must draw randomness
+// from that engine's RNG only.
+func (s *Switch) SetEgressFaults(i int, f FaultInjector) { s.ports[i].dir.faults = f }
+
 // BufferedBytes reports the shared pool bytes currently in use.
 func (s *Switch) BufferedBytes() int { return s.totalUsed }
 
@@ -174,6 +180,7 @@ type Port struct {
 	uplink *sim.Serializer
 	paused [NumPriorities]bool
 	held   [NumPriorities][][]byte
+	faults FaultInjector
 
 	stats PortStats
 }
@@ -183,7 +190,19 @@ type PortStats struct {
 	PauseRx    uint64 // PFC pause frames received
 	ResumeRx   uint64 // PFC resume frames received
 	FramesHeld uint64 // frames buffered because their priority was paused
+	Dropped    uint64 // frames discarded by the uplink fault injector
+	Corrupted  uint64 // frames bit-flipped by the injector
+	Duplicated uint64 // extra copies delivered by the injector
+	Delayed    uint64 // frames held back by the injector (reordering)
 }
+
+// SetFaults installs a fault injector on the uplink (NIC→switch)
+// direction of this port; nil removes it. The injector is judged on the
+// NIC's engine — in a sharded topology it must draw randomness from
+// that engine's RNG only. Together with Switch.SetEgressFaults this
+// gives a switched topology the same per-direction chaos surface a
+// point-to-point Link has.
+func (p *Port) SetFaults(f FaultInjector) { p.faults = f }
 
 // AttachPort connects an endpoint with the given MAC on the switch's own
 // engine and returns the transmit function the endpoint uses (classic
@@ -226,11 +245,37 @@ func (p *Port) Send(frame []byte) {
 
 // transmit serializes an owned frame copy onto the uplink and schedules
 // its arrival at the switch. Reservation end times are monotone in call
-// order, so frames of one port arrive at the switch in FIFO order.
+// order, so undelayed frames of one port arrive at the switch in FIFO
+// order. The fault injector (if any) is judged after the wire
+// reservation, mirroring direction.send: a dropped frame still consumed
+// its wire time.
 func (p *Port) transmit(prio uint8, buf []byte) {
 	end := p.uplink.Reserve(sim.BytesAt(len(buf)+packet.EthFramingOverhead, p.sw.cfg.Link.BandwidthGbps))
 	at := end.Add(p.sw.cfg.Link.Propagation + p.sw.cfg.Forwarding)
 	sp := p.p
+	var v Verdict
+	if p.faults != nil {
+		v = p.faults.Judge(p.eng.Now(), len(buf))
+	}
+	if v.Drop {
+		p.stats.Dropped++
+		packet.PutBuf(buf)
+		return
+	}
+	if v.Corrupt {
+		p.stats.Corrupted++
+		pos := p.eng.Rand().Intn(len(buf))
+		buf[pos] ^= 1 << p.eng.Rand().Intn(8)
+	}
+	if v.Delay > 0 {
+		p.stats.Delayed++
+		at = at.Add(v.Delay)
+	}
+	if v.Duplicate {
+		p.stats.Duplicated++
+		dup := packet.CloneFrame(buf)
+		p.eng.CrossScheduleAt(p.sw.eng, at.Add(v.DupDelay), func() { p.sw.ingress(sp, prio, dup) })
+	}
 	p.eng.CrossScheduleAt(p.sw.eng, at, func() { p.sw.ingress(sp, prio, buf) })
 }
 
@@ -280,9 +325,13 @@ func (p *Port) Health() (map[string]uint64, map[string]float64) {
 		}
 	}
 	return map[string]uint64{
-			"pfc_pause_rx":  p.stats.PauseRx,
-			"pfc_resume_rx": p.stats.ResumeRx,
-			"frames_held":   p.stats.FramesHeld,
+			"pfc_pause_rx":   p.stats.PauseRx,
+			"pfc_resume_rx":  p.stats.ResumeRx,
+			"frames_held":    p.stats.FramesHeld,
+			"out_discards":   p.stats.Dropped,
+			"fcs_err":        p.stats.Corrupted,
+			"dup_frames":     p.stats.Duplicated,
+			"delayed_frames": p.stats.Delayed,
 		}, map[string]float64{
 			"held_frames": float64(p.HeldFrames()),
 			"paused":      paused,
@@ -401,16 +450,22 @@ func (s *Switch) PortHealth(i int) func() (map[string]uint64, map[string]float64
 	p := s.ports[i]
 	return func() (map[string]uint64, map[string]float64) {
 		st := &p.stats
+		// out_discards folds in egress-wire drops (chaos injectors on
+		// SetEgressFaults) so the out-discards alert rule sees injected
+		// loss on switched paths the way it does on point-to-point links;
+		// the cause counters still sum to the aggregate.
 		return map[string]uint64{
 				"in_frames":              st.InFrames,
 				"in_bytes":               st.InBytes,
 				"out_frames":             p.dir.stats.Frames,
 				"out_bytes":              p.dir.stats.Bytes,
-				"out_discards":           st.Discards,
+				"out_discards":           st.Discards + p.dir.stats.Dropped,
 				"out_discards_overflow":  st.DiscardOverflow,
 				"out_discards_threshold": st.DiscardThreshold,
 				"out_discards_egress":    st.DiscardEgressCap,
 				"out_discards_no_route":  st.DiscardNoRoute,
+				"out_discards_wire":      p.dir.stats.Dropped,
+				"fcs_err":                p.dir.stats.Corrupted,
 				"pfc_pause_tx":           st.PauseTx,
 				"pfc_resume_tx":          st.ResumeTx,
 				"ecn_marked":             st.EcnMarked,

@@ -1,0 +1,502 @@
+package kvserve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"strom/internal/hostmem"
+	"strom/internal/roce"
+	"strom/internal/sim"
+	"strom/internal/telemetry"
+	"strom/internal/testrig"
+)
+
+// Stats counts the client's protocol activity. The last four are the
+// guarantee counters: StaleServed and Misapplied must stay zero on any
+// run (they mean a Get returned data older than an acked write, or a
+// slot held bytes no issued write could have produced), while
+// DupSuppressed and StaleRerouted count the times the protocol had to
+// work to keep them zero.
+type Stats struct {
+	Puts        uint64 // Put/Delete operations issued
+	AckedPuts   uint64 // Puts acked by at least one replica
+	UnackedPuts uint64 // Puts no replica accepted (client surfaced an error)
+	Deletes     uint64 // subset of Puts that were tombstone writes
+	Gets        uint64 // Get operations issued
+	GetMisses   uint64 // Gets finding no write (empty slot)
+	GetFailures uint64 // Gets that could not reach any replica
+
+	Retries       uint64 // per-replica verb retries after an error
+	Reconnects    uint64 // successful QP re-establishments
+	RKeyRefetches uint64 // rkey re-fetches (rotation after a restart)
+	Failovers     uint64 // Gets served by the non-primary replica
+	Repairs       uint64 // deficit slots re-replicated after a failover
+	Downs         uint64 // shard-map transitions to down
+	Ups           uint64 // shard-map transitions back up
+
+	DupSuppressed uint64 // ambiguous retries resolved by the version probe
+	StaleRerouted uint64 // stale replica reads detected and rerouted
+	StaleServed   uint64 // VIOLATION: all replicas behind an acked write
+	Misapplied    uint64 // VIOLATION: slot bytes not equal to ValueFor
+}
+
+// conn is the client's connection to one server.
+type conn struct {
+	qpc  uint32 // client-side QPN
+	qps  uint32 // server-side QPN
+	rkey uint32 // cached rkey of the server's buffer region
+}
+
+// Client is the KV dataplane's requester: it owns the shard map, the
+// version counters, and the exactly-once retry protocol.
+//
+// Exactly-once for retried Puts works by making every write
+// self-describing: a Put carries a per-key version the client issued
+// exactly once, so a retry can first READ the slot's version field —
+// if the slot already holds a version >= the one being retried, the
+// earlier, ambiguous attempt actually landed and the retry is
+// suppressed instead of re-applied. Combined with the responder's
+// in-order PSN application (a late retransmission can never overtake a
+// newer write on the same QP) this means no acked Put is ever applied
+// twice or regressed.
+type Client struct {
+	net     *testrig.Net
+	lay     Layout
+	idx     int // client machine index
+	m       *testrig.NetMachine
+	servers []*Server
+	conns   []conn
+
+	down      []bool            // shard map health, per server
+	repairDue []bool            // server came back with a deficit to drain
+	deficits  []map[uint64]uint64 // per server: key -> version owed
+
+	scratch hostmem.Addr // SlotSize staging area for writes
+	readVA  hostmem.Addr // SlotSize landing area for reads
+
+	issued  map[uint64]uint64          // per key: highest version handed out
+	acked   map[uint64]uint64          // per key: highest version acked
+	deleted map[uint64]map[uint64]bool // key -> versions that were tombstones
+
+	bo          sim.Backoff
+	deadline    sim.Duration
+	maxAttempts int
+
+	histPut *telemetry.Histogram
+	histGet *telemetry.Histogram
+	PutLat  []sim.Duration // per-acked-Put latency samples
+	GetLat  []sim.Duration // per-successful-Get latency samples
+
+	Stats Stats
+}
+
+// Issued returns the highest version issued for key (0 if none).
+func (c *Client) Issued(key uint64) uint64 { return c.issued[key] }
+
+// Acked returns the highest version acked for key (0 if none).
+func (c *Client) Acked(key uint64) uint64 { return c.acked[key] }
+
+// Down reports whether the shard map currently marks server down.
+func (c *Client) Down(server int) bool { return c.down[server] }
+
+// MarkDown flips a server to down in the shard map. Called by the
+// telemetry failover controller when the heartbeat watchdog fires, and
+// by the client itself when a reconnect reports the peer crashed.
+func (c *Client) MarkDown(server int) {
+	if server < 0 || server >= len(c.down) || c.down[server] {
+		return
+	}
+	c.down[server] = true
+	c.Stats.Downs++
+}
+
+// MarkUp flips a server back up and schedules a repair pass if any
+// writes were owed to it while it was out.
+func (c *Client) MarkUp(server int) {
+	if server < 0 || server >= len(c.down) || !c.down[server] {
+		return
+	}
+	c.down[server] = false
+	c.Stats.Ups++
+	if len(c.deficits[server]) > 0 {
+		c.repairDue[server] = true
+	}
+}
+
+// wasDelete reports whether (key, ver) was issued as a tombstone.
+func (c *Client) wasDelete(key, ver uint64) bool { return c.deleted[key][ver] }
+
+// expectedVal returns the bytes (nil for a tombstone) that version ver
+// of key must carry.
+func (c *Client) expectedVal(key, ver uint64) []byte {
+	if c.wasDelete(key, ver) {
+		return nil
+	}
+	return ValueFor(key, ver)
+}
+
+// refetchRKey re-reads a server's current region key — the control
+// plane's answer to rkey rotation after a restart. (The exchange is
+// modeled as host-side state, like Pair.ExchangeRKeys.)
+func (c *Client) refetchRKey(server int) {
+	m := c.servers[server].M
+	if r := m.NIC.RegionFor(uint64(m.Buf.Base())); r != nil {
+		c.conns[server].rkey = r.RKey()
+		c.Stats.RKeyRefetches++
+	}
+}
+
+// recover is one backoff step of the per-replica retry loop: sleep,
+// then either conclude the failure was transient (both QP ends still
+// RTS — a loss-induced deadline miss needs no reconnect) or
+// re-establish the connection and re-fetch the possibly-rotated rkey.
+// Returns roce.ErrPeerCrashed while the server is down.
+func (c *Client) recover(p *sim.Process, server, attempt int) error {
+	p.Sleep(c.bo.Delay(attempt, p.Engine().Rand()))
+	cn := &c.conns[server]
+	sm := c.servers[server].M
+	stc, err := c.m.NIC.Stack().QPStateOf(cn.qpc)
+	if err != nil {
+		return err
+	}
+	if stc == roce.QPStateRTS && !c.m.NIC.Crashed() && !sm.NIC.Crashed() {
+		if sts, _ := sm.NIC.Stack().QPStateOf(cn.qps); sts == roce.QPStateRTS {
+			return nil
+		}
+	}
+	if err := c.net.ReconnectPair(c.idx, sm.Index, cn.qpc, cn.qps); err != nil {
+		return err
+	}
+	c.Stats.Reconnects++
+	c.refetchRKey(server)
+	return nil
+}
+
+// writeSlot pushes the staged slot image to one replica slot.
+func (c *Client) writeSlot(p *sim.Process, server int, va hostmem.Addr) error {
+	cn := &c.conns[server]
+	return c.m.NIC.WriteKeySyncDeadline(p, cn.qpc, uint64(c.scratch), uint64(va), cn.rkey, SlotSize, p.Now().Add(c.deadline))
+}
+
+// readRemote pulls nbytes at va from one replica into the read area
+// and returns them.
+func (c *Client) readRemote(p *sim.Process, server int, va hostmem.Addr, nbytes int) ([]byte, error) {
+	cn := &c.conns[server]
+	if err := c.m.NIC.ReadKeySyncDeadline(p, cn.qpc, uint64(va), uint64(c.readVA), cn.rkey, nbytes, p.Now().Add(c.deadline)); err != nil {
+		return nil, err
+	}
+	return c.m.NIC.Memory().ReadVirt(c.readVA, nbytes)
+}
+
+// putReplica drives one replica write to completion: bounded retries
+// with backoff, reconnect and rkey refetch, and the duplicate-
+// suppression probe before every retry of an ambiguous failure.
+func (c *Client) putReplica(p *sim.Process, server int, va hostmem.Addr, ver uint64) error {
+	if c.down[server] {
+		return fmt.Errorf("%w: server %d marked down", ErrUnavailable, server)
+	}
+	ambiguous := false
+	var lastErr error
+	for attempt := 0; attempt < c.maxAttempts; attempt++ {
+		if attempt > 0 {
+			c.Stats.Retries++
+			if err := c.recover(p, server, attempt-1); err != nil {
+				c.MarkDown(server)
+				return err
+			}
+			if ambiguous {
+				// The failed attempt may have landed before its deadline
+				// expired: probe the slot's version field and suppress the
+				// retry if the write is already applied.
+				if b, err := c.readRemote(p, server, va+slotVerOff, 8); err == nil {
+					if got := binary.LittleEndian.Uint64(b); got >= ver {
+						c.Stats.DupSuppressed++
+						return nil
+					}
+				}
+			}
+		}
+		err := c.writeSlot(p, server, va)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		switch {
+		case errors.Is(err, roce.ErrRemoteAccess):
+			// NAK'd by the MR check: nothing was applied, but the cached
+			// rkey is stale (a restart rotated it). Refetch and retry; the
+			// recover step will clear the ERROR state the NAK left behind.
+			ambiguous = false
+			c.refetchRKey(server)
+		case errors.Is(err, sim.ErrDeadlineExceeded), errors.Is(err, roce.ErrQPError):
+			ambiguous = true
+		default:
+			return err
+		}
+	}
+	return lastErr
+}
+
+// stage writes the slot image for (key, ver) into the staging area.
+func (c *Client) stage(key, ver uint64) error {
+	var flags uint32
+	var val []byte
+	if c.wasDelete(key, ver) {
+		flags = FlagTombstone
+	} else {
+		val = ValueFor(key, ver)
+	}
+	slot, err := EncodeSlot(key, ver, val, flags)
+	if err != nil {
+		return err
+	}
+	return c.m.NIC.Memory().WriteVirt(c.scratch, slot)
+}
+
+// put is the shared body of Put and Delete.
+func (c *Client) put(p *sim.Process, key uint64, del bool) error {
+	if key == 0 || key > c.lay.NumKeys {
+		return fmt.Errorf("kvserve: key %d outside 1..%d", key, c.lay.NumKeys)
+	}
+	start := p.Now()
+	ver := c.issued[key] + 1
+	c.issued[key] = ver
+	c.Stats.Puts++
+	if del {
+		c.Stats.Deletes++
+		m := c.deleted[key]
+		if m == nil {
+			m = make(map[uint64]bool)
+			c.deleted[key] = m
+		}
+		m[ver] = true
+	}
+	if err := c.stage(key, ver); err != nil {
+		return err
+	}
+	sh := c.lay.ShardOf(key)
+	ackedAny := false
+	for _, server := range []int{c.lay.PrimaryServer(sh), c.lay.BackupServer(sh)} {
+		va := c.lay.SlotAddr(c.servers[server].TableFor(c.lay, sh), key)
+		if err := c.putReplica(p, server, va, ver); err == nil {
+			ackedAny = true
+			delete(c.deficits[server], key)
+		} else {
+			// Owe this server the write; a repair pass delivers it once the
+			// server is reachable again.
+			c.deficits[server][key] = ver
+		}
+	}
+	if !ackedAny {
+		c.Stats.UnackedPuts++
+		return fmt.Errorf("%w: key %d ver %d", ErrUnavailable, key, ver)
+	}
+	c.acked[key] = ver
+	c.Stats.AckedPuts++
+	d := p.Now().Sub(start)
+	c.PutLat = append(c.PutLat, d)
+	c.histPut.Observe(d)
+	return nil
+}
+
+// Put writes the deterministic value for the key's next version to both
+// replicas, acking once at least one holds it.
+func (c *Client) Put(p *sim.Process, key uint64) error { return c.put(p, key, false) }
+
+// Delete writes a tombstone version — ordered, versioned and replicated
+// exactly like any other Put.
+func (c *Client) Delete(p *sim.Process, key uint64) error { return c.put(p, key, true) }
+
+// getReplica reads one replica's slot with bounded retries (reads are
+// idempotent, so no duplicate suppression is needed).
+func (c *Client) getReplica(p *sim.Process, server int, va hostmem.Addr) (Slot, error) {
+	if c.down[server] {
+		return Slot{}, fmt.Errorf("%w: server %d marked down", ErrUnavailable, server)
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.maxAttempts; attempt++ {
+		if attempt > 0 {
+			c.Stats.Retries++
+			if err := c.recover(p, server, attempt-1); err != nil {
+				c.MarkDown(server)
+				return Slot{}, err
+			}
+		}
+		b, err := c.readRemote(p, server, va, SlotSize)
+		if err == nil {
+			s := DecodeSlot(b)
+			s.Val = append([]byte(nil), s.Val...)
+			return s, nil
+		}
+		lastErr = err
+		switch {
+		case errors.Is(err, roce.ErrRemoteAccess):
+			c.refetchRKey(server)
+		case errors.Is(err, sim.ErrDeadlineExceeded), errors.Is(err, roce.ErrQPError):
+		default:
+			return Slot{}, err
+		}
+	}
+	return Slot{}, lastErr
+}
+
+// Get reads a key, preferring the primary replica and failing over to
+// the backup. A replica is only trusted if its slot version has caught
+// up with the highest acked write — a read behind that is rerouted, so
+// a Get can never observe a value staler than an acked Put. Found
+// reports whether the key currently has a live (non-tombstone) value.
+func (c *Client) Get(p *sim.Process, key uint64) (slot Slot, found bool, err error) {
+	if key == 0 || key > c.lay.NumKeys {
+		return Slot{}, false, fmt.Errorf("kvserve: key %d outside 1..%d", key, c.lay.NumKeys)
+	}
+	start := p.Now()
+	c.Stats.Gets++
+	sh := c.lay.ShardOf(key)
+	prim := c.lay.PrimaryServer(sh)
+	order := []int{prim, c.lay.BackupServer(sh)}
+	if c.down[order[0]] && !c.down[order[1]] {
+		order[0], order[1] = order[1], order[0]
+	}
+	want := c.acked[key]
+	staleReads := 0
+	var lastErr error
+	for _, server := range order {
+		slot, rerr := c.getReplica(p, server, c.lay.SlotAddr(c.servers[server].TableFor(c.lay, sh), key))
+		if rerr != nil {
+			lastErr = rerr
+			continue
+		}
+		if slot.Ver < want {
+			c.Stats.StaleRerouted++
+			staleReads++
+			lastErr = fmt.Errorf("%w: server %d at ver %d, acked %d", ErrStale, server, slot.Ver, want)
+			continue
+		}
+		c.checkSlot(key, slot)
+		if server != prim {
+			c.Stats.Failovers++
+		}
+		d := p.Now().Sub(start)
+		c.GetLat = append(c.GetLat, d)
+		c.histGet.Observe(d)
+		if slot.Ver == 0 {
+			c.Stats.GetMisses++
+			return slot, false, nil
+		}
+		return slot, !slot.Tombstone(), nil
+	}
+	if staleReads == len(order) {
+		// Every replica answered and every answer was behind an acked
+		// write: the durability guarantee is broken.
+		c.Stats.StaleServed++
+	} else {
+		c.Stats.GetFailures++
+	}
+	return Slot{}, false, lastErr
+}
+
+// checkSlot audits a successfully read slot against the deterministic
+// value function; any divergence is a misapplied write.
+func (c *Client) checkSlot(key uint64, s Slot) {
+	if s.Ver == 0 {
+		if s.Key != 0 || len(s.Val) != 0 {
+			c.Stats.Misapplied++
+		}
+		return
+	}
+	if s.Key != key || s.Ver > c.issued[key] {
+		c.Stats.Misapplied++
+		return
+	}
+	if s.Tombstone() != c.wasDelete(key, s.Ver) {
+		c.Stats.Misapplied++
+		return
+	}
+	want := c.expectedVal(key, s.Ver)
+	if len(s.Val) != len(want) {
+		c.Stats.Misapplied++
+		return
+	}
+	for i := range want {
+		if s.Val[i] != want[i] {
+			c.Stats.Misapplied++
+			return
+		}
+	}
+}
+
+// Deficits returns the total number of (server, key) replica writes
+// still owed — zero once the cluster has fully converged.
+func (c *Client) Deficits() int {
+	n := 0
+	for _, d := range c.deficits {
+		n += len(d)
+	}
+	return n
+}
+
+// RepairDue reports whether any recovered server is owed writes.
+func (c *Client) RepairDue() bool {
+	for _, due := range c.repairDue {
+		if due {
+			return true
+		}
+	}
+	return false
+}
+
+// Repair drains the deficit of every server flagged by MarkUp:
+// reconnects, re-fetches the rotated rkey, and re-replicates each owed
+// (key, version) with the same duplicate-suppressed protocol as a
+// normal Put. Keys drain in sorted order so the repair schedule is
+// deterministic.
+func (c *Client) Repair(p *sim.Process) {
+	for server := range c.repairDue {
+		if c.repairDue[server] {
+			c.repairServer(p, server)
+		}
+	}
+}
+
+// RepairAll force-clears every down mark and drains every deficit —
+// the end-of-run convergence pass, when all servers are back.
+func (c *Client) RepairAll(p *sim.Process) {
+	for server := range c.down {
+		c.MarkUp(server)
+		c.repairServer(p, server)
+	}
+}
+
+func (c *Client) repairServer(p *sim.Process, server int) {
+	defic := c.deficits[server]
+	c.repairDue[server] = false
+	if len(defic) == 0 {
+		return
+	}
+	keys := make([]uint64, 0, len(defic))
+	for k := range defic {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	sh := -1
+	var table hostmem.Addr
+	for _, key := range keys {
+		ver := defic[key]
+		if err := c.stage(key, ver); err != nil {
+			return
+		}
+		if s := c.lay.ShardOf(key); s != sh {
+			sh = s
+			table = c.servers[server].TableFor(c.lay, sh)
+		}
+		if err := c.putReplica(p, server, c.lay.SlotAddr(table, key), ver); err != nil {
+			// Server went away again mid-repair; MarkUp will re-flag us.
+			c.repairDue[server] = len(defic) > 0
+			return
+		}
+		delete(defic, key)
+		c.Stats.Repairs++
+	}
+}

@@ -21,6 +21,7 @@ var (
 	ErrBucketsFull  = errors.New("kvstore: hash table entry full (3 buckets)")
 	ErrLengthsDiff  = errors.New("kvstore: keys and values length mismatch")
 	ErrValueTooLong = errors.New("kvstore: value too long")
+	ErrKeyReserved  = errors.New("kvstore: key reserved for tombstones")
 )
 
 // Region is a bump allocator over a registered host-memory buffer.
@@ -160,6 +161,11 @@ const (
 	// HTValuePtrRel: the value pointer sits two 4 B positions after its
 	// key (isRelativePosition = true).
 	HTValuePtrRel = 2
+	// HTTombstone marks a deleted bucket. Unlike an empty bucket (key 0)
+	// a tombstone never matches the traversal kernel's Equal predicate
+	// for a real key, and Put reuses tombstoned buckets. Keys equal to
+	// HTTombstone are rejected.
+	HTTombstone = ^uint64(0)
 )
 
 // HashTable is the Pilaf-like store.
@@ -195,36 +201,82 @@ func (h *HashTable) EntryAddr(key uint64) hostmem.Addr {
 	return h.entriesVA + hostmem.Addr(h.entryIndex(key)*HTEntrySize)
 }
 
-// Put inserts a key/value pair, allocating the value in the value region.
+// Put inserts or overwrites a key/value pair, allocating the value in
+// the value region. An existing bucket for the key is always preferred;
+// otherwise the first free bucket — empty or tombstoned — is taken, so
+// deleted slots are reused.
 func (h *HashTable) Put(key uint64, value []byte) error {
 	if len(value) > 1<<30 {
 		return ErrValueTooLong
+	}
+	if key == HTTombstone {
+		return ErrKeyReserved
 	}
 	entryVA := h.EntryAddr(key)
 	entry, err := h.mem.ReadVirt(entryVA, HTEntrySize)
 	if err != nil {
 		return err
 	}
+	slot, fresh := -1, true
 	for b := 0; b < HTBuckets; b++ {
 		off := b * HTBucketStride
-		cur := binary.LittleEndian.Uint64(entry[off:])
-		if cur != 0 && cur != key {
+		switch binary.LittleEndian.Uint64(entry[off:]) {
+		case key:
+			slot, fresh = b, false
+		case 0, HTTombstone:
+			if slot < 0 {
+				slot = b
+			}
+		}
+		if !fresh {
+			break
+		}
+	}
+	if slot < 0 {
+		return ErrBucketsFull
+	}
+	off := slot * HTBucketStride
+	valVA, err := h.region.Alloc(len(value))
+	if err != nil {
+		return err
+	}
+	if err := h.mem.WriteVirt(valVA, value); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(entry[off:], key)
+	binary.LittleEndian.PutUint64(entry[off+8:], uint64(valVA))
+	binary.LittleEndian.PutUint32(entry[off+16:], uint32(len(value)))
+	if fresh {
+		h.items++
+	}
+	return h.mem.WriteVirt(entryVA, entry)
+}
+
+// Delete removes a key, tombstoning its bucket: the key field becomes
+// HTTombstone (which no lookup can match) and the value pointer and
+// length are zeroed. The bucket is reusable by later Puts. Reports
+// whether the key was present.
+func (h *HashTable) Delete(key uint64) (bool, error) {
+	if key == 0 || key == HTTombstone {
+		return false, nil
+	}
+	entryVA := h.EntryAddr(key)
+	entry, err := h.mem.ReadVirt(entryVA, HTEntrySize)
+	if err != nil {
+		return false, err
+	}
+	for b := 0; b < HTBuckets; b++ {
+		off := b * HTBucketStride
+		if binary.LittleEndian.Uint64(entry[off:]) != key {
 			continue
 		}
-		valVA, err := h.region.Alloc(len(value))
-		if err != nil {
-			return err
-		}
-		if err := h.mem.WriteVirt(valVA, value); err != nil {
-			return err
-		}
-		binary.LittleEndian.PutUint64(entry[off:], key)
-		binary.LittleEndian.PutUint64(entry[off+8:], uint64(valVA))
-		binary.LittleEndian.PutUint32(entry[off+16:], uint32(len(value)))
-		h.items++
-		return h.mem.WriteVirt(entryVA, entry)
+		binary.LittleEndian.PutUint64(entry[off:], HTTombstone)
+		binary.LittleEndian.PutUint64(entry[off+8:], 0)
+		binary.LittleEndian.PutUint32(entry[off+16:], 0)
+		h.items--
+		return true, h.mem.WriteVirt(entryVA, entry)
 	}
-	return ErrBucketsFull
+	return false, nil
 }
 
 // Get looks a key up host-side (the oracle for tests).

@@ -177,6 +177,61 @@ func TestHashTableEntryAddrDeterministic(t *testing.T) {
 	}
 }
 
+func TestHashTableDeleteTombstoneReuse(t *testing.T) {
+	_, r := newRegion(t, 4)
+	ht, _ := BuildHashTable(r, 1) // every key collides into one entry
+	for i := uint64(1); i <= 3; i++ {
+		if err := ht.Put(i, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete the middle bucket: the key disappears, the others survive.
+	ok, err := ht.Delete(2)
+	if err != nil || !ok {
+		t.Fatalf("Delete(2) = %v, %v", ok, err)
+	}
+	if _, found := ht.Get(2); found {
+		t.Error("deleted key still retrievable")
+	}
+	if ht.Len() != 2 {
+		t.Errorf("len after delete = %d, want 2", ht.Len())
+	}
+	for _, k := range []uint64{1, 3} {
+		if v, found := ht.Get(k); !found || v[0] != byte(k) {
+			t.Errorf("Get(%d) after deleting a sibling failed", k)
+		}
+	}
+	// The entry was full; the tombstoned bucket must be reusable.
+	if err := ht.Put(4, []byte{4}); err != nil {
+		t.Fatalf("Put into tombstoned bucket: %v", err)
+	}
+	if v, found := ht.Get(4); !found || v[0] != 4 {
+		t.Error("Get(4) after tombstone reuse failed")
+	}
+	if ht.Len() != 3 {
+		t.Errorf("len after reuse = %d, want 3", ht.Len())
+	}
+	// All three buckets occupied again: a fourth key overflows.
+	if err := ht.Put(5, []byte{5}); !errors.Is(err, ErrBucketsFull) {
+		t.Errorf("overflow err = %v", err)
+	}
+	// Double delete reports absence.
+	if ok, err := ht.Delete(2); err != nil || ok {
+		t.Errorf("second Delete(2) = %v, %v", ok, err)
+	}
+	// Reserved keys: tombstone value can never be stored or deleted, and
+	// key 0 (the empty-bucket marker) is not deletable.
+	if err := ht.Put(HTTombstone, []byte{1}); !errors.Is(err, ErrKeyReserved) {
+		t.Errorf("Put(HTTombstone) err = %v", err)
+	}
+	if ok, _ := ht.Delete(HTTombstone); ok {
+		t.Error("Delete(HTTombstone) reported presence")
+	}
+	if ok, _ := ht.Delete(0); ok {
+		t.Error("Delete(0) reported presence")
+	}
+}
+
 func TestHashTableTraversalParams(t *testing.T) {
 	_, r := newRegion(t, 4)
 	ht, _ := BuildHashTable(r, 64)

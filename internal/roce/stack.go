@@ -152,6 +152,11 @@ type Stack struct {
 	// Free list for pendingPacket bookkeeping entries, recycled when the
 	// cumulative-ACK path retires them.
 	ppFree []*pendingPacket
+
+	// Per-QP retransmission counters, kept beside (not inside) qpState so
+	// they survive ResetQP/ReconnectQP: the retry-storm alert rule watches
+	// their rate, and a reset must never make a counter go backwards.
+	qpRetrans []uint64
 }
 
 // txDone is one queued TX-pipeline completion.
@@ -175,9 +180,10 @@ func NewStack(eng *sim.Engine, cfg Config, id Identity, handler Handler, transmi
 		tracer:   tracer,
 		st:       newStateTable(cfg.NumQPs),
 		mq:       newMultiQueue(cfg.NumQPs, cfg.MultiQueuePool, cfg.ReadDepthPerQP),
-		rxPath:   sim.NewSerializer(eng),
-		txPath:   sim.NewSerializer(eng),
-		timers:   make([]sim.Event, cfg.NumQPs),
+		rxPath:    sim.NewSerializer(eng),
+		txPath:    sim.NewSerializer(eng),
+		timers:    make([]sim.Event, cfg.NumQPs),
+		qpRetrans: make([]uint64, cfg.NumQPs),
 	}
 	s.txDrainFn = s.drainTx
 	s.rxDrainFn = s.drainRx
@@ -195,6 +201,17 @@ func (s *Stack) Stats() Stats { return s.stats }
 
 // OutstandingReads reports the Multi-Queue occupancy for a QP.
 func (s *Stack) OutstandingReads(qpn uint32) int { return s.mq.len(qpn) }
+
+// QPRetransmissions reports the retransmitted-frame count of one QP.
+// Unlike the lifecycle state in qpState the counter survives
+// ResetQP/ReconnectQP, so scrape deltas and rate rules never observe it
+// going backwards across a recovery cycle.
+func (s *Stack) QPRetransmissions(qpn uint32) uint64 {
+	if int(qpn) >= len(s.qpRetrans) {
+		return 0
+	}
+	return s.qpRetrans[qpn]
+}
 
 // CreateQP installs a queue pair connected to a remote stack.
 func (s *Stack) CreateQP(qpn uint32, remote Identity, remoteQPN uint32) error {
@@ -285,6 +302,9 @@ func (s *Stack) retransmitFrame(qpn uint32, st *qpState, frame []byte) {
 	}
 	words := (len(frame) + s.cfg.DataPathBytes - 1) / s.cfg.DataPathBytes
 	s.stats.Retransmissions++
+	if int(qpn) < len(s.qpRetrans) {
+		s.qpRetrans[qpn]++
+	}
 	if s.tb != nil {
 		s.traceFrame(traceTidRetrans, "retransmit", frame)
 	}

@@ -2,6 +2,8 @@ package export
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"strom/internal/sim"
 )
@@ -20,6 +22,13 @@ const (
 	// NoProgress is the watchdog: it fires when the metric has not
 	// advanced for For while the While gauge (or counter) is non-zero.
 	NoProgress
+	// Quantile compares a histogram's Q-quantile against Value, with
+	// the same hold-For semantics as Threshold. Histograms live in
+	// metrics registries, not health reports, so Quantile rules are
+	// evaluated at registry scrapes (Recorder.Registry) and Metric
+	// matches histogram keys (globs welcome: "kv_op_latency_ps*"
+	// covers every label set of the metric).
+	Quantile
 )
 
 // String names the kind.
@@ -31,6 +40,8 @@ func (k RuleKind) String() string {
 		return "rate"
 	case NoProgress:
 		return "no-progress"
+	case Quantile:
+		return "quantile"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -43,7 +54,11 @@ type Rule struct {
 	// Object restricts the rule to one source object ("" = any source
 	// whose report contains Metric).
 	Object string
-	// Metric is the health counter or gauge the rule watches.
+	// Metric is the health counter or gauge the rule watches (for
+	// Quantile rules, the registry histogram key). A single '*'
+	// wildcard matches any substring — "qp*_retransmissions" watches
+	// every per-QP retransmission counter independently, each matched
+	// metric with its own alert state.
 	Metric string
 	// Kind selects the condition class.
 	Kind RuleKind
@@ -62,6 +77,8 @@ type Rule struct {
 	// this gauge (or counter) is greater than zero, so an idle source
 	// never trips it.
 	While string
+	// Q is the quantile a Quantile rule evaluates (0.99 for p99).
+	Q float64
 }
 
 // DefaultRules is the rule set the canonical instrumented scenarios and
@@ -77,6 +94,17 @@ func DefaultRules() []Rule {
 		{Name: "remote-access", Metric: "remote_access_naks", Kind: Threshold, Op: "gt", Value: 0},
 		{Name: "qp-errors", Metric: "qp_errors", Kind: Threshold, Op: "gt", Value: 0},
 		{Name: "watchdog", Metric: "ops_completed", Kind: NoProgress, For: 2 * sim.Millisecond, While: "outstanding_ops"},
+		// retry-storm watches every per-QP retransmission counter the
+		// NIC health report exposes, one alert state per QP: a sustained
+		// go-back-N storm on one connection fires without the aggregate
+		// retransmissions counter having to cross anything.
+		{Name: "retry-storm", Metric: "qp*_retransmissions", Kind: Rate, Op: "gt", Value: 20, For: 500 * sim.Microsecond},
+		// op-latency-p99 is the histogram-quantile rule: it watches the
+		// KV dataplane's client-level op latency histograms (registry
+		// metrics, evaluated at registry scrapes) and fires when the
+		// trailing p99 exceeds 2 ms of simulated time — crash failover
+		// and incast storms push it over, a clean run stays far under.
+		{Name: "op-latency-p99", Metric: "kv_op_latency_ps*", Kind: Quantile, Q: 0.99, Op: "gt", Value: 2e9},
 	}
 }
 
@@ -135,12 +163,18 @@ type alertPayload struct {
 }
 
 // alerter evaluates one rule set against the sources of one scraper
-// (one engine shard). Each (rule, object) pair has independent state;
-// evaluation order — rules in declaration order per source, sources in
-// registration order — is deterministic.
+// (one engine shard). Each (rule, object, metric) triple has
+// independent state — a glob rule matching several metrics of one
+// source tracks each independently; evaluation order — rules in
+// declaration order per source, matched metrics in sorted order,
+// sources in registration order — is deterministic.
 type alerter struct {
 	rules  []Rule
-	states map[alertKey]*alertState
+	states map[stateKey]*alertState
+	// metrics records, per (rule, object), the matched metric names in
+	// first-seen order, so summaries fold per-metric states without
+	// depending on map iteration order.
+	metrics map[alertKey][]string
 }
 
 type alertKey struct {
@@ -148,8 +182,18 @@ type alertKey struct {
 	object string
 }
 
+type stateKey struct {
+	rule   int
+	object string
+	metric string
+}
+
 func newAlerter(rules []Rule) *alerter {
-	return &alerter{rules: rules, states: make(map[alertKey]*alertState)}
+	return &alerter{
+		rules:   rules,
+		states:  make(map[stateKey]*alertState),
+		metrics: make(map[alertKey][]string),
+	}
 }
 
 // lookup finds a metric in a report: counters first, then gauges.
@@ -163,87 +207,181 @@ func lookup(name string, counters map[string]uint64, gauges map[string]float64) 
 	return 0, false
 }
 
+// metricMatch reports whether name matches pattern; a single '*' in the
+// pattern matches any (possibly empty) substring.
+func metricMatch(pattern, name string) bool {
+	i := strings.IndexByte(pattern, '*')
+	if i < 0 {
+		return pattern == name
+	}
+	pre, suf := pattern[:i], pattern[i+1:]
+	return len(name) >= len(pre)+len(suf) &&
+		strings.HasPrefix(name, pre) && strings.HasSuffix(name, suf)
+}
+
+// matchedMetrics returns the report's metric names matching a glob
+// pattern, in sorted order (map iteration must never leak into the
+// event stream).
+func matchedMetrics(pattern string, counters map[string]uint64, gauges map[string]float64) []string {
+	var out []string
+	for k := range counters {
+		if metricMatch(pattern, k) {
+			out = append(out, k)
+		}
+	}
+	for k := range gauges {
+		if _, dup := counters[k]; !dup && metricMatch(pattern, k) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// state returns the evaluation state for (rule i, object, metric),
+// creating it (and recording the metric's first-seen order) on demand.
+func (a *alerter) state(i int, object, metric string) *alertState {
+	k := stateKey{rule: i, object: object, metric: metric}
+	st := a.states[k]
+	if st == nil {
+		st = &alertState{rule: &a.rules[i]}
+		a.states[k] = st
+		pk := alertKey{rule: i, object: object}
+		a.metrics[pk] = append(a.metrics[pk], metric)
+	}
+	return st
+}
+
 // eval runs every matching rule against one source's scrape and
-// reports fire/resolve transitions via emit.
+// reports fire/resolve transitions via emit. Quantile rules are
+// registry-scrape concerns (evalQuantile) and never match here.
 func (a *alerter) eval(now sim.Time, object string, counters map[string]uint64, gauges map[string]float64, emit func(typ string, p alertPayload)) {
 	for i := range a.rules {
 		r := &a.rules[i]
 		if r.Object != "" && r.Object != object {
 			continue
 		}
+		if r.Kind == Quantile {
+			continue
+		}
+		if strings.IndexByte(r.Metric, '*') >= 0 {
+			for _, m := range matchedMetrics(r.Metric, counters, gauges) {
+				v, _ := lookup(m, counters, gauges)
+				a.evalOne(now, i, object, m, v, counters, gauges, emit)
+			}
+			continue
+		}
 		v, ok := lookup(r.Metric, counters, gauges)
 		if !ok {
 			continue
 		}
-		k := alertKey{rule: i, object: object}
-		st := a.states[k]
-		if st == nil {
-			st = &alertState{rule: r}
-			a.states[k] = st
-		}
-		var cond bool
-		val := v
-		switch r.Kind {
-		case Threshold:
-			cond = r.compare(v)
-			if cond && !st.pending {
-				st.pending, st.pendingSince = true, now
-			}
-			if !cond {
-				st.pending = false
-			}
-			cond = cond && now.Sub(st.pendingSince) >= r.For
-		case Rate:
-			cv := uint64(v)
-			// Trim the window to the trailing For horizon, keeping one
-			// sample at or beyond the boundary as the rate base.
-			for len(st.window) >= 2 && st.window[1].at <= now-sim.Time(r.For) {
-				st.window = st.window[1:]
-			}
-			if len(st.window) > 0 {
-				span := now.Sub(st.window[0].at)
-				if span >= r.For && span > 0 {
-					val = float64(cv-st.window[0].v) / (float64(span) / float64(sim.Millisecond))
-					cond = r.compare(val)
-				}
-			}
-			st.window = append(st.window, rateSample{at: now, v: cv})
-		case NoProgress:
-			cv := uint64(v)
-			gate := true
-			if r.While != "" {
-				g, gok := lookup(r.While, counters, gauges)
-				gate = gok && g > 0
-			}
-			if !st.seen || cv != st.lastValue || !gate {
-				st.lastValue, st.lastChange = cv, now
-			}
-			st.seen = true
-			cond = gate && now.Sub(st.lastChange) >= r.For
-			val = float64(now.Sub(st.lastChange)) / float64(sim.Millisecond)
-		}
-		switch {
-		case cond && !st.active:
-			st.active = true
-			st.fired++
-			emit("alert", alertPayload{Rule: r.Name, Object: object, Metric: r.Metric, Kind: r.Kind.String(), Value: val})
-		case !cond && st.active:
-			st.active = false
-			emit("resolve", alertPayload{Rule: r.Name, Object: object, Metric: r.Metric, Kind: r.Kind.String(), Value: val})
-		}
+		a.evalOne(now, i, object, r.Metric, v, counters, gauges, emit)
 	}
 }
 
-// summaries returns the per-(rule, object) tallies in deterministic
-// (rule declaration, object registration) order. objects lists the
-// scraper's source objects in registration order.
+// evalOne advances one (rule, object, metric) state with the metric's
+// fresh value and emits the fire/resolve transition.
+func (a *alerter) evalOne(now sim.Time, i int, object, metric string, v float64, counters map[string]uint64, gauges map[string]float64, emit func(typ string, p alertPayload)) {
+	r := &a.rules[i]
+	st := a.state(i, object, metric)
+	var cond bool
+	val := v
+	switch r.Kind {
+	case Threshold, Quantile:
+		cond = r.compare(v)
+		if cond && !st.pending {
+			st.pending, st.pendingSince = true, now
+		}
+		if !cond {
+			st.pending = false
+		}
+		cond = cond && now.Sub(st.pendingSince) >= r.For
+	case Rate:
+		cv := uint64(v)
+		// Trim the window to the trailing For horizon, keeping one
+		// sample at or beyond the boundary as the rate base.
+		for len(st.window) >= 2 && st.window[1].at <= now-sim.Time(r.For) {
+			st.window = st.window[1:]
+		}
+		if len(st.window) > 0 {
+			span := now.Sub(st.window[0].at)
+			if span >= r.For && span > 0 {
+				val = float64(cv-st.window[0].v) / (float64(span) / float64(sim.Millisecond))
+				cond = r.compare(val)
+			}
+		}
+		st.window = append(st.window, rateSample{at: now, v: cv})
+	case NoProgress:
+		cv := uint64(v)
+		gate := true
+		if r.While != "" {
+			g, gok := lookup(r.While, counters, gauges)
+			gate = gok && g > 0
+		}
+		if !st.seen || cv != st.lastValue || !gate {
+			st.lastValue, st.lastChange = cv, now
+		}
+		st.seen = true
+		cond = gate && now.Sub(st.lastChange) >= r.For
+		val = float64(now.Sub(st.lastChange)) / float64(sim.Millisecond)
+	}
+	switch {
+	case cond && !st.active:
+		st.active = true
+		st.fired++
+		emit("alert", alertPayload{Rule: r.Name, Object: object, Metric: metric, Kind: r.Kind.String(), Value: val})
+	case !cond && st.active:
+		st.active = false
+		emit("resolve", alertPayload{Rule: r.Name, Object: object, Metric: metric, Kind: r.Kind.String(), Value: val})
+	}
+}
+
+// evalQuantile advances the Quantile rules against one histogram of a
+// scraped registry: key is the full histogram key, q the histogram's
+// quantile function. object names the registry in alert events.
+func (a *alerter) evalQuantile(now sim.Time, object, key string, q func(float64) float64, emit func(typ string, p alertPayload)) {
+	for i := range a.rules {
+		r := &a.rules[i]
+		if r.Kind != Quantile || !metricMatch(r.Metric, key) {
+			continue
+		}
+		if r.Object != "" && r.Object != object {
+			continue
+		}
+		a.evalOne(now, i, object, key, q(r.Q), nil, nil, emit)
+	}
+}
+
+// hasQuantile reports whether any rule needs histogram evaluation.
+func (a *alerter) hasQuantile() bool {
+	for i := range a.rules {
+		if a.rules[i].Kind == Quantile {
+			return true
+		}
+	}
+	return false
+}
+
+// summaries returns the per-(rule, object) tallies — per-metric states
+// folded by summing fires and OR-ing active — in deterministic (rule
+// declaration, object registration, metric first-seen) order. objects
+// lists the scraper's source objects in registration order, followed by
+// its registry objects.
 func (a *alerter) summaries(objects []string) []AlertSummary {
 	var out []AlertSummary
 	for i := range a.rules {
 		for _, obj := range objects {
-			if st, ok := a.states[alertKey{rule: i, object: obj}]; ok {
-				out = append(out, AlertSummary{Rule: a.rules[i].Name, Object: obj, Fired: st.fired, Active: st.active})
+			ms, ok := a.metrics[alertKey{rule: i, object: obj}]
+			if !ok {
+				continue
 			}
+			sum := AlertSummary{Rule: a.rules[i].Name, Object: obj}
+			for _, m := range ms {
+				st := a.states[stateKey{rule: i, object: obj, metric: m}]
+				sum.Fired += st.fired
+				sum.Active = sum.Active || st.active
+			}
+			out = append(out, sum)
 		}
 	}
 	return out

@@ -150,3 +150,71 @@ func TestRuleObjectFilterAndMissingMetric(t *testing.T) {
 		t.Fatalf("summaries %+v, want exactly one entry for b with fired=1", sums)
 	}
 }
+
+// A glob rule tracks every matched metric with independent state: one
+// QP's retransmission storm fires (and resolves) without touching the
+// other QP's counter, and a later storm on the second QP is its own
+// alert. Summaries fold the per-metric states into one (rule, object)
+// tally.
+func TestGlobRulePerMetricState(t *testing.T) {
+	rule := Rule{Name: "retry-storm", Metric: "qp*_retransmissions", Kind: Rate, Op: "gt", Value: 2, For: 500 * sim.Microsecond}
+	a := newAlerter([]Rule{rule})
+	us := func(n int64) sim.Time { return sim.Time(sim.Duration(n) * sim.Microsecond) }
+	var events []string
+	emit := func(typ string, p alertPayload) { events = append(events, typ + ":" + p.Metric) }
+	scr := func(at sim.Time, qp1, qp2 uint64) {
+		a.eval(at, "nic:A", map[string]uint64{
+			"qp1_retransmissions": qp1,
+			"qp2_retransmissions": qp2,
+			"out_frames":          999, // must not match the glob
+		}, nil, emit)
+	}
+	scr(us(0), 0, 0)
+	scr(us(600), 9, 0)  // qp1: 9 events/0.6ms = 15/ms -> fire; qp2 flat
+	scr(us(1200), 9, 0) // qp1 flat over the trailing window -> resolve
+	scr(us(1800), 9, 9) // qp2 storms now: its own independent alert
+	want := []string{
+		"alert:qp1_retransmissions",
+		"resolve:qp1_retransmissions",
+		"alert:qp2_retransmissions",
+	}
+	if len(events) != len(want) {
+		t.Fatalf("events %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("events %v, want %v", events, want)
+		}
+	}
+	sums := a.summaries([]string{"nic:A"})
+	if len(sums) != 1 || sums[0].Fired != 2 {
+		t.Fatalf("summaries %+v, want one entry with fired=2", sums)
+	}
+}
+
+// A Quantile rule evaluates a histogram's Q-quantile at registry
+// scrapes: it fires when the quantile crosses the threshold, resolves
+// when it comes back, and ignores histograms outside its glob.
+func TestQuantileRuleFiresAndResolves(t *testing.T) {
+	rule := Rule{Name: "op-latency-p99", Metric: "kv_op_latency_ps*", Kind: Quantile, Q: 0.99, Op: "gt", Value: 1000}
+	a := newAlerter([]Rule{rule})
+	var events []string
+	emit := func(typ string, p alertPayload) { events = append(events, typ + ":" + p.Metric) }
+	q := func(v float64) func(float64) float64 {
+		return func(qq float64) float64 {
+			if qq != 0.99 {
+				t.Errorf("rule evaluated quantile %v, want 0.99", qq)
+			}
+			return v
+		}
+	}
+	key := "kv_op_latency_ps{op=put}"
+	a.evalQuantile(0, "testbed", key, q(500), emit)               // under: silent
+	a.evalQuantile(100, "testbed", key, q(1500), emit)            // over: fire (For=0)
+	a.evalQuantile(200, "testbed", "other_hist", q(9999), emit)   // no glob match
+	a.evalQuantile(300, "testbed", key, q(800), emit)             // back under: resolve
+	want := []string{"alert:" + key, "resolve:" + key}
+	if len(events) != len(want) || events[0] != want[0] || events[1] != want[1] {
+		t.Fatalf("events %v, want %v", events, want)
+	}
+}

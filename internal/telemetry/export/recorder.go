@@ -69,6 +69,14 @@ type segEvent struct {
 	seg int
 }
 
+// regEntry is one registered registry (or registry scope) scraped by a
+// scraper.
+type regEntry struct {
+	host string
+	reg  *telemetry.Registry
+	last map[string]uint64 // previous counter values, for deltas
+}
+
 // scraper drives the sources living on one engine: one probe per
 // engine, scraping sources in registration order, evaluating alert
 // rules, and appending events to this segment.
@@ -77,9 +85,7 @@ type scraper struct {
 	eng     *sim.Engine
 	seg     int
 	sources []*source
-	reg     *telemetry.Registry // optional whole-registry scrape
-	regHost string
-	regLast map[string]uint64 // previous counter values, for deltas
+	regs    []*regEntry // optional registry scrapes, in registration order
 	alerts  *alerter
 	seq     uint64
 	events  []segEvent
@@ -95,15 +101,50 @@ type scraper struct {
 // by that shard (the single-writer contract); the merged stream is
 // byte-identical for every worker count.
 type Recorder struct {
-	mu       sync.Mutex // guards segment creation (sharded setup)
-	rules    []Rule
-	scrapers []*scraper
-	finished bool
+	mu        sync.Mutex // guards segment creation (sharded setup)
+	rules     []Rule
+	scrapers  []*scraper
+	observers []func(AlertEvent)
+	finished  bool
 }
 
 // NewRecorder returns a recorder evaluating rules (nil = no alerting).
 func NewRecorder(rules []Rule) *Recorder {
 	return &Recorder{rules: rules}
+}
+
+// AlertEvent is one fire/resolve transition as seen by OnAlert
+// observers.
+type AlertEvent struct {
+	Now    sim.Time
+	Type   string // "alert" or "resolve"
+	Rule   string
+	Object string
+	Metric string
+	Value  float64
+}
+
+// OnAlert registers fn to run synchronously on every alert fire and
+// resolve, from the scraping engine's event context at the scrape's
+// simulated time. This is the hook controllers (the KV failover
+// controller) sit on: the callback may mutate state owned by the
+// scraping shard but must not touch other shards' state. Call during
+// single-threaded setup.
+func (r *Recorder) OnAlert(fn func(AlertEvent)) {
+	if fn != nil {
+		r.observers = append(r.observers, fn)
+	}
+}
+
+// notify fans one transition out to the observers.
+func (r *Recorder) notify(now sim.Time, typ string, p alertPayload) {
+	if len(r.observers) == 0 {
+		return
+	}
+	ev := AlertEvent{Now: now, Type: typ, Rule: p.Rule, Object: p.Object, Metric: p.Metric, Value: p.Value}
+	for _, fn := range r.observers {
+		fn(ev)
+	}
 }
 
 // scraperFor returns the segment for eng, creating it on first use.
@@ -134,18 +175,26 @@ func (r *Recorder) Source(eng *sim.Engine, host, subsystem, object string, scrap
 // interval, emitting one "metrics" event per registry subsystem (keyed
 // by metric-name prefix: roce_*, link_*, nic_*, pcie_*, chaos_*, mr_*,
 // ...) with counters, counter deltas, gauges and histogram digests.
+// Quantile rules are evaluated here, against every histogram of the
+// scraped registry, with host as the alert object. May be called more
+// than once per engine — each registry (or scope) is scraped in
+// registration order.
 //
-// The registry's collect callbacks mirror state owned by every
-// component that attached to it, so mid-run collection is only sound
-// when the whole testbed runs on eng — attach it on unsharded testbeds
-// only. (Sharded runs still get per-shard health events; the registry
-// export stays an end-of-run concern there.)
+// A registry's collect callbacks mirror state owned by every component
+// that attached to it, so mid-run collection is only sound when
+// everything that resolved metrics or collectors through reg lives on
+// eng. On a sharded testbed, attach one telemetry.Registry.Scope per
+// machine (each component resolves its metrics through its machine's
+// scope) and register each scope here on that machine's engine: every
+// mid-run scrape then touches only shard-owned state, and the parent
+// registry keeps the union for end-of-run exports. Attaching a shared
+// flat registry remains sound on unsharded testbeds only.
 func (r *Recorder) Registry(eng *sim.Engine, host string, reg *telemetry.Registry) {
 	if reg == nil {
 		return
 	}
 	s := r.scraperFor(eng)
-	s.reg, s.regHost, s.regLast = reg, host, make(map[string]uint64)
+	s.regs = append(s.regs, &regEntry{host: host, reg: reg, last: make(map[string]uint64)})
 }
 
 // Start installs one scrape probe per engine. The probes are daemon
@@ -173,12 +222,15 @@ func (s *scraper) emit(now sim.Time, fin bool, host, subsystem, typ string, data
 	s.seq++
 }
 
-// tick is one scrape point: health sources in order, then the registry.
+// tick is one scrape point: health sources in order, then the
+// registries.
 func (s *scraper) tick(now sim.Time) {
 	for _, src := range s.sources {
 		s.scrapeSource(now, false, src)
 	}
-	s.scrapeRegistry(now, false)
+	for _, e := range s.regs {
+		s.scrapeRegistry(now, false, e)
+	}
 }
 
 // scrapeSource scrapes one source, emits its health event and runs the
@@ -197,6 +249,7 @@ func (s *scraper) scrapeSource(now sim.Time, fin bool, src *source) {
 	})
 	s.alerts.eval(now, src.object, counters, gauges, func(typ string, p alertPayload) {
 		s.emit(now, fin, src.host, "alert", typ, p)
+		s.rec.notify(now, typ, p)
 	})
 }
 
@@ -216,13 +269,11 @@ type histDigest struct {
 	P99   float64 `json:"p99"`
 }
 
-// scrapeRegistry collects the registry and emits one "metrics" event
-// per subsystem, in sorted subsystem order.
-func (s *scraper) scrapeRegistry(now sim.Time, fin bool) {
-	if s.reg == nil {
-		return
-	}
-	s.reg.Collect()
+// scrapeRegistry collects one registry and emits one "metrics" event
+// per subsystem, in sorted subsystem order, then runs the Quantile
+// rules over its histograms.
+func (s *scraper) scrapeRegistry(now sim.Time, fin bool, e *regEntry) {
+	e.reg.Collect()
 	bySub := make(map[string]*metricsPayload)
 	get := func(key string) *metricsPayload {
 		sub := subsystemOf(key)
@@ -233,28 +284,29 @@ func (s *scraper) scrapeRegistry(now sim.Time, fin bool) {
 		}
 		return p
 	}
-	s.reg.EachCounter(func(key string, v uint64) {
+	e.reg.EachCounter(func(key string, v uint64) {
 		p := get(key)
 		if p.Counters == nil {
 			p.Counters = make(map[string]uint64)
 		}
 		p.Counters[key] = v
-		if d := v - s.regLast[key]; d != 0 {
+		if d := v - e.last[key]; d != 0 {
 			if p.Delta == nil {
 				p.Delta = make(map[string]uint64)
 			}
 			p.Delta[key] = d
 		}
-		s.regLast[key] = v
+		e.last[key] = v
 	})
-	s.reg.EachGauge(func(key string, v float64) {
+	e.reg.EachGauge(func(key string, v float64) {
 		p := get(key)
 		if p.Gauges == nil {
 			p.Gauges = make(map[string]float64)
 		}
 		p.Gauges[key] = v
 	})
-	s.reg.EachHistogram(func(key string, h *telemetry.Histogram) {
+	quantiles := s.alerts.hasQuantile()
+	e.reg.EachHistogram(func(key string, h *telemetry.Histogram) {
 		p := get(key)
 		if p.Histograms == nil {
 			p.Histograms = make(map[string]histDigest)
@@ -263,6 +315,12 @@ func (s *scraper) scrapeRegistry(now sim.Time, fin bool) {
 			Count: h.Count(), Sum: h.Sum(),
 			P50: h.Quantile(0.50), P99: h.Quantile(0.99),
 		}
+		if quantiles && h.Count() > 0 {
+			s.alerts.evalQuantile(now, e.host, key, h.Quantile, func(typ string, p alertPayload) {
+				s.emit(now, fin, e.host, "alert", typ, p)
+				s.rec.notify(now, typ, p)
+			})
+		}
 	})
 	subs := make([]string, 0, len(bySub))
 	for sub := range bySub {
@@ -270,7 +328,7 @@ func (s *scraper) scrapeRegistry(now sim.Time, fin bool) {
 	}
 	sort.Strings(subs)
 	for _, sub := range subs {
-		s.emit(now, fin, s.regHost, sub, "metrics", bySub[sub])
+		s.emit(now, fin, e.host, sub, "metrics", bySub[sub])
 	}
 }
 
@@ -312,18 +370,32 @@ func (r *Recorder) Finish() {
 		for _, src := range s.sources {
 			s.scrapeSource(now, true, src)
 		}
-		s.scrapeRegistry(now, true)
+		for _, e := range s.regs {
+			s.scrapeRegistry(now, true, e)
+		}
 		for _, sum := range s.alerts.summaries(s.objects()) {
 			s.emit(now, true, "testbed", "alert", "summary", sum)
 		}
 	}
 }
 
-// objects lists the scraper's source objects in registration order.
+// objects lists the scraper's alertable objects in registration order,
+// deduplicated: health sources first, then registry hosts (the
+// Quantile rules' alert objects).
 func (s *scraper) objects() []string {
-	out := make([]string, len(s.sources))
-	for i, src := range s.sources {
-		out[i] = src.object
+	seen := make(map[string]bool, len(s.sources)+len(s.regs))
+	out := make([]string, 0, len(s.sources)+len(s.regs))
+	add := func(obj string) {
+		if !seen[obj] {
+			seen[obj] = true
+			out = append(out, obj)
+		}
+	}
+	for _, src := range s.sources {
+		add(src.object)
+	}
+	for _, e := range s.regs {
+		add(e.host)
 	}
 	return out
 }

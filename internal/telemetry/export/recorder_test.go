@@ -157,3 +157,35 @@ func TestRecorderStreamOrdered(t *testing.T) {
 		prev = ev.TS
 	}
 }
+
+// OnAlert observers see every fire/resolve event as it happens in sim
+// time — the hook a failover controller hangs off — without waiting for
+// the stream to drain.
+func TestOnAlertObserver(t *testing.T) {
+	eng := sim.NewEngine(1)
+	port := &fakePort{}
+	rec := NewRecorder(DefaultRules())
+	rec.Source(eng, "A", "port", "nic:A", port.scrape)
+	var got []AlertEvent
+	rec.OnAlert(func(ev AlertEvent) { got = append(got, ev) })
+	eng.Schedule(5*sim.Microsecond, func() { port.naks++ })
+	// Scrape probes are daemons and cannot keep the sim alive on their
+	// own: keep real events flowing past the NAK so a live scrape (not
+	// just the end-of-run flush) observes and evaluates it.
+	for i := 1; i <= 10; i++ {
+		d := sim.Duration(i) * sim.Microsecond
+		eng.Schedule(d, func() { port.frames++ })
+	}
+	rec.Start(2 * sim.Microsecond)
+	eng.Run()
+	if len(got) == 0 {
+		t.Fatal("observer saw no events")
+	}
+	ev := got[0]
+	if ev.Type != "alert" || ev.Rule != "remote-access" || ev.Object != "nic:A" {
+		t.Fatalf("first event %+v, want remote-access alert on nic:A", ev)
+	}
+	if ev.Now < sim.Time(5*sim.Microsecond) {
+		t.Fatalf("alert at %v, before the NAK at 5us", ev.Now)
+	}
+}

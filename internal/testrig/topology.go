@@ -118,6 +118,32 @@ func (n *Net) Connect(i, j int) (qpi, qpj uint32, err error) {
 	return qpi, qpj, nil
 }
 
+// ReconnectPair re-establishes a queue pair between machines i and j
+// after a failure: both ends are reset (flushing anything outstanding)
+// and reconnected with fresh PSNs. Like Pair.ReconnectPair it fails
+// with roce.ErrPeerCrashed while either machine is down — callers retry
+// under backoff until the peer restarts. Note rkeys rotate on restart:
+// re-exchange them after a successful reconnect.
+func (n *Net) ReconnectPair(i, j int, qpi, qpj uint32) error {
+	mi, mj := n.Machines[i], n.Machines[j]
+	if mi.NIC.Crashed() {
+		return fmt.Errorf("%w: m%d is down", roce.ErrPeerCrashed, i)
+	}
+	if mj.NIC.Crashed() {
+		return fmt.Errorf("%w: m%d is down", roce.ErrPeerCrashed, j)
+	}
+	if err := mj.NIC.Stack().ResetQP(qpj); err != nil {
+		return err
+	}
+	if err := mi.NIC.Stack().ResetQP(qpi); err != nil {
+		return err
+	}
+	if err := mj.NIC.Stack().ReconnectQP(qpj); err != nil {
+		return err
+	}
+	return mi.NIC.Stack().ReconnectQP(qpi)
+}
+
 // EnableDCQCN turns the DCQCN loop on for every machine's stack.
 func (n *Net) EnableDCQCN(cfg roce.DCQCNConfig) {
 	for _, m := range n.Machines {
