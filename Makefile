@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race cover recovery protect determinism fuzz bench bench-diff soak kv
+.PHONY: check vet build test race cover recovery protect determinism fuzz bench bench-diff soak kv kv-large
 
 # check is the everyday gate: build plus the full -race suite, which
 # includes the sharded determinism tests (TestSharded* in
@@ -58,12 +58,22 @@ kv:
 	$(GO) test -race ./internal/kvserve ./internal/kvstore
 	$(GO) test -race -run 'KV' ./internal/experiments
 
+# kv-large runs the large-value torn-read suite on its own under the
+# race detector: extent codec and spill refs, the consistency-kernel
+# read path, torn-read detection/classification/retry, orphan reaping,
+# the failover edge cases around the extent-then-publish window, and
+# the chaos-kv-large sweep with its JSONL alert assertions.
+kv-large:
+	$(GO) test -race -run 'Extent|Large|Torn|Spill|MidRepair' ./internal/kvserve
+	$(GO) test -race -run 'KVLarge' ./internal/experiments
+
 # fuzz smoke-runs the checked-in fuzzers for 10s each on top of their
 # seed corpora (packet header round-trip, CRC slicing equivalence, QP
 # state-machine exactly-once under random fault interleavings, RETH
 # validation never-false-accept, shard window scheduling never reorders
 # same-timestamp cross-shard events, switch arbitration conservation
-# under random arrival interleavings).
+# under random arrival interleavings, extent codec round-trip with any
+# single-bit flip detected as torn).
 fuzz:
 	$(GO) test ./internal/packet -fuzz=FuzzHeaderRoundTrip -fuzztime=10s
 	$(GO) test ./internal/crc -fuzz=FuzzCRCSlicingEquivalence -fuzztime=10s
@@ -72,6 +82,7 @@ fuzz:
 	$(GO) test ./internal/sim -fuzz=FuzzShardSchedule -fuzztime=10s
 	$(GO) test ./internal/telemetry/export -fuzz=FuzzEnvelopeRoundTrip -fuzztime=10s
 	$(GO) test ./internal/fabric -fuzz=FuzzSwitchArbitration -fuzztime=10s
+	$(GO) test ./internal/kvserve -fuzz=FuzzExtentCodec -fuzztime=10s
 
 # soak runs the monitoring gate (DESIGN.md §14): the clean instrumented
 # scenario and the full quick chaos suite (sweeps + chaos scenario),
@@ -79,8 +90,10 @@ fuzz:
 # clean stream may only trip the loss-phase rules (out-discards,
 # fcs-err, and their per-QP retransmission view retry-storm) and must
 # trip out-discards (the 4% phase is deliberate); the chaos stream must
-# trip out-discards, remote-access and qp-errors, and may additionally
-# trip fcs-err, retry-storm and the no-progress watchdog. The incast
+# trip out-discards, remote-access, qp-errors and link-flap (the flap
+# phases are scheduled, so a silent flap rule means the drop-cause
+# breakdown went dark), and may additionally trip fcs-err, retry-storm
+# and the no-progress watchdog. The incast
 # stream puts the PFC/ECN switch in the path (4→1 storm, DCQCN enabled
 # mid-run) and must trip the pfc-pause and ecn-marked rules;
 # resume-burst pool overflows may additionally trip out-discards and,
@@ -89,17 +102,22 @@ fuzz:
 # incast blast + rogue) and must trip kv-heartbeat — that alert IS the
 # failure detector the failover controller runs on — and retry-storm;
 # the rest of its allowlist is the chaos fallout (crash-flushed QPs,
-# rogue NAKs, discarded in-flight frames, failover latency tails). Any
+# rogue NAKs, discarded in-flight frames, failover latency tails). The
+# kvlarge stream runs the large-value full-fault regime (racing
+# overwriter + loss + crash cycles) and must trip torn-read — that
+# alert IS the torn-read detection surface — and kv-heartbeat. Any
 # other alert fails the target.
 soak:
 	$(GO) run ./cmd/strombench -quick -jsonl SOAK_clean.jsonl table1 > /dev/null
 	$(GO) run ./cmd/stromtail -allow 'out-discards|fcs-err|retry-storm' -require 'out-discards' SOAK_clean.jsonl
 	$(GO) run ./cmd/strombench -quick -chaos -jsonl SOAK_chaos.jsonl > /dev/null
-	$(GO) run ./cmd/stromtail -allow 'out-discards|fcs-err|remote-access|qp-errors|watchdog|retry-storm' -require 'out-discards|remote-access|qp-errors' SOAK_chaos.jsonl
+	$(GO) run ./cmd/stromtail -allow 'out-discards|fcs-err|link-flap|remote-access|qp-errors|watchdog|retry-storm' -require 'out-discards|link-flap|remote-access|qp-errors' SOAK_chaos.jsonl
 	$(GO) run ./cmd/strombench -quick -incast -jsonl SOAK_incast.jsonl table1 > /dev/null
 	$(GO) run ./cmd/stromtail -allow 'pfc-pause|ecn-marked|out-discards|retry-storm' -require 'pfc-pause|ecn-marked' SOAK_incast.jsonl
 	$(GO) run ./cmd/strombench -quick -kv -jsonl SOAK_kv.jsonl > /dev/null
 	$(GO) run ./cmd/stromtail -allow 'out-discards|retry-storm|kv-heartbeat|qp-errors|remote-access|watchdog|pfc-pause|ecn-marked|op-latency-p99|fcs-err' -require 'kv-heartbeat|retry-storm' SOAK_kv.jsonl
+	$(GO) run ./cmd/strombench -quick -kvlarge -jsonl SOAK_kvlarge.jsonl > /dev/null
+	$(GO) run ./cmd/stromtail -allow 'out-discards|retry-storm|kv-heartbeat|torn-read|qp-errors|remote-access|watchdog|pfc-pause|ecn-marked|op-latency-p99|fcs-err' -require 'torn-read|kv-heartbeat' SOAK_kvlarge.jsonl
 
 # bench runs the microbenchmarks (macro benches plus the scheduler,
 # telemetry, packet and roce hot paths), then records bench snapshots:

@@ -59,7 +59,7 @@ func (c *Cluster) AddMachine(name string, profile Profile) (*Machine, error) {
 	m := &Machine{
 		name:    name,
 		cluster: c,
-		nic:     core.NewNIC(c.eng, profile, id, nil),
+		nic:     core.NewNIC(c.eng, profile, id),
 		id:      id,
 	}
 	c.machines[name] = m
@@ -77,7 +77,7 @@ type QueuePair struct {
 // testbed topology) and creates one connected queue pair, returned for
 // issuing operations from either side.
 func (c *Cluster) ConnectDirect(a, b *Machine, cable Cable) (*QueuePair, error) {
-	link := fabric.NewLink(c.eng, cable, a.nic, b.nic, nil)
+	link := fabric.NewLink(c.eng, cable, a.nic, b.nic)
 	a.nic.SetTransmit(link.SendFromA)
 	b.nic.SetTransmit(link.SendFromB)
 	return c.CreateQueuePair(a, b)
@@ -99,13 +99,13 @@ type SwitchConfig = fabric.SwitchConfig
 // and add the given forwarding delay per frame: unbounded buffering, no
 // PFC, no ECN — the historical lossless configuration.
 func (c *Cluster) AddSwitch(cable Cable, forwarding Duration) *Switch {
-	return &Switch{sw: fabric.NewSwitch(c.eng, cable, forwarding, nil)}
+	return &Switch{sw: fabric.NewSwitch(c.eng, cable, forwarding)}
 }
 
 // AddSwitchCfg creates a switch from a full SwitchConfig, enabling the
 // shared-buffer pool, PFC and ECN.
 func (c *Cluster) AddSwitchCfg(cfg SwitchConfig) *Switch {
-	return &Switch{sw: fabric.NewSwitchCfg(c.eng, cfg, nil)}
+	return &Switch{sw: fabric.NewSwitchCfg(c.eng, cfg)}
 }
 
 // Attach connects a machine to the switch.

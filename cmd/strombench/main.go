@@ -4,7 +4,7 @@
 // Usage:
 //
 //	strombench -list
-//	strombench [-quick|-full] [-chaos] [-incast] [-kv] [-seed N] [-j N] [-shards N]
+//	strombench [-quick|-full] [-chaos] [-incast] [-kv] [-kvlarge] [-seed N] [-j N] [-shards N]
 //	           [-csv DIR] [-metrics FILE] [-trace FILE] [-jsonl FILE]
 //	           [-bench FILE] [-cpuprofile FILE] [-memprofile FILE] [exp ...]
 //
@@ -24,6 +24,12 @@
 // violation), and -metrics/-trace/-jsonl export the storm-regime KV
 // scenario — the stream the kv-heartbeat failure detector and the
 // retry-storm rule are proven against.
+//
+// -kvlarge selects the large-value torn-read gate: with no names it runs
+// the chaos-kv-large sweep (out-of-line CRC-guarded extents under a
+// racing overwriter, bursty loss and crash cycles, failing on any torn
+// value served), and -metrics/-trace/-jsonl export the full-fault
+// regime — the stream the torn-read rate rule is proven against.
 //
 // -chaos selects the fault-injection suite instead: with no names it
 // runs the chaos generators (bursty loss and link-flap sweeps, plus the
@@ -85,6 +91,7 @@ func main() {
 	chaosSuite := flag.Bool("chaos", false, "run the fault-injection suite; -metrics/-trace export the chaos scenario")
 	incastScenario := flag.Bool("incast", false, "export the switched incast-storm scenario from -metrics/-trace/-jsonl instead of the clean one")
 	kvScenario := flag.Bool("kv", false, "run the chaos-kv sweep; -metrics/-trace/-jsonl export the replicated-KV storm scenario")
+	kvLargeScenario := flag.Bool("kvlarge", false, "run the chaos-kv-large sweep; -metrics/-trace/-jsonl export the large-value torn-read scenario")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	jobs := flag.Int("j", experiments.DefaultParallelism(), "experiment generators to run in parallel")
 	shards := flag.Int("shards", 0, "sharded testbed worker count (0 = single engine; output is byte-identical for every value >= 1)")
@@ -160,7 +167,9 @@ func main() {
 	names := flag.Args()
 	preamble := false
 	if len(names) == 0 {
-		if *kvScenario {
+		if *kvLargeScenario {
+			names = append(names, "chaos-kv-large")
+		} else if *kvScenario {
 			names = append(names, "chaos-kv")
 		} else if *chaosSuite {
 			for _, g := range experiments.Chaos() {
@@ -184,16 +193,16 @@ func main() {
 		return
 	}
 	scenarios := 0
-	for _, b := range []bool{*chaosSuite, *incastScenario, *kvScenario} {
+	for _, b := range []bool{*chaosSuite, *incastScenario, *kvScenario, *kvLargeScenario} {
 		if b {
 			scenarios++
 		}
 	}
 	if scenarios > 1 {
-		fail(fmt.Errorf("-chaos, -incast and -kv select different telemetry scenarios; pick one"))
+		fail(fmt.Errorf("-chaos, -incast, -kv and -kvlarge select different telemetry scenarios; pick one"))
 		return
 	}
-	if err := writeTelemetry(opts, *chaosSuite, *incastScenario, *kvScenario, *metricsOut, *traceOut, *jsonlOut); err != nil {
+	if err := writeTelemetry(opts, *chaosSuite, *incastScenario, *kvScenario, *kvLargeScenario, *metricsOut, *traceOut, *jsonlOut); err != nil {
 		fail(err)
 		return
 	}
@@ -242,9 +251,10 @@ func allGenerators() []experiments.Generator {
 
 // writeTelemetry runs the instrumented scenario once (the chaos one when
 // chaosSuite is set, the switched incast storm when incast is set, the
-// replicated-KV storm when kv is set) and writes the requested exports.
-// A no-op when no export flag was given.
-func writeTelemetry(opts experiments.Options, chaosSuite, incast, kv bool, metricsPath, tracePath, jsonlPath string) error {
+// replicated-KV storm when kv is set, the large-value torn-read regime
+// when kvLarge is set) and writes the requested exports. A no-op when no
+// export flag was given.
+func writeTelemetry(opts experiments.Options, chaosSuite, incast, kv, kvLarge bool, metricsPath, tracePath, jsonlPath string) error {
 	if metricsPath == "" && tracePath == "" && jsonlPath == "" {
 		return nil
 	}
@@ -283,6 +293,9 @@ func writeTelemetry(opts experiments.Options, chaosSuite, incast, kv bool, metri
 	}
 	if kv {
 		scenario = experiments.WriteKVTelemetryExports
+	}
+	if kvLarge {
+		scenario = experiments.WriteKVLargeTelemetryExports
 	}
 	err = scenario(opts, metricsW, traceW, jsonlW)
 	for _, f := range files {

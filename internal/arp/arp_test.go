@@ -85,7 +85,7 @@ func wire(t *testing.T) (*sim.Engine, *Module, *Module) {
 			t.Errorf("b: %v", err)
 		}
 	})
-	link = fabric.NewLink(eng, fabric.DirectCable10G(), epA, epB, nil)
+	link = fabric.NewLink(eng, fabric.DirectCable10G(), epA, epB)
 	a = New(eng, macA, ipA, func(f []byte) { link.SendFromA(f) }, 0)
 	b = New(eng, macB, ipB, func(f []byte) { link.SendFromB(f) }, 0)
 	return eng, a, b

@@ -128,15 +128,13 @@ func (n *NIC) AttachTelemetry(reg *telemetry.Registry, tb *telemetry.TraceBuffer
 	}
 }
 
-// logf records a diagnostic on the NIC's log lane (structured tracing)
-// and forwards it through the deprecated sim.Tracer shim for callers
-// still on the legacy sink. name is the instant's short event name;
-// format/args carry the full message.
+// logf records a diagnostic on the NIC's log lane (structured tracing).
+// name is the instant's short event name; format/args carry the full
+// message.
 func (n *NIC) logf(name, format string, args ...any) {
 	if t := n.tel; t != nil && t.tb != nil {
 		t.tb.Instant(t.pid, traceTidNicLog, "log", name, fmt.Sprintf(format, args...))
 	}
-	n.tracer.Logf(format, args...)
 }
 
 // qpTid returns the trace lane for a queue pair, naming it on first use.

@@ -86,7 +86,6 @@ type NIC struct {
 	stack    *roce.Stack
 	arp      *arp.Module
 	transmit func([]byte)
-	tracer   *sim.Tracer
 
 	kernels  map[uint64]*deployment
 	fallback RPCFallback
@@ -111,13 +110,12 @@ type NIC struct {
 // NewNIC builds a machine with the given identity. Call SetTransmit (or
 // wire it through a fabric.Link using the NIC as an Endpoint) before
 // posting operations.
-func NewNIC(eng *sim.Engine, cfg Config, id roce.Identity, tracer *sim.Tracer) *NIC {
+func NewNIC(eng *sim.Engine, cfg Config, id roce.Identity) *NIC {
 	n := &NIC{
 		eng:      eng,
 		cfg:      cfg,
 		mem:      hostmem.New(cfg.MemoryPages),
 		tlb:      tlb.New(0),
-		tracer:   tracer,
 		kernels:  make(map[uint64]*deployment),
 		doorbell: sim.NewSerializer(eng),
 		mrt:      mr.NewTable(),
@@ -133,7 +131,7 @@ func NewNIC(eng *sim.Engine, cfg Config, id roce.Identity, tracer *sim.Tracer) *
 		}
 		n.transmit(f)
 	}
-	n.stack = roce.NewStack(eng, cfg.Roce, id, n, send, tracer)
+	n.stack = roce.NewStack(eng, cfg.Roce, id, n, send)
 	n.arp = arp.New(eng, id.MAC, id.IP, send, 0)
 	return n
 }

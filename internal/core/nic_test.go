@@ -81,9 +81,9 @@ func newRig(t *testing.T, seed int64, cfg Config, linkCfg fabric.LinkConfig) *ri
 	eng := sim.NewEngine(seed)
 	idA := roce.Identity{MAC: packet.MAC{2, 0, 0, 0, 0, 1}, IP: packet.AddrOf(10, 0, 0, 1)}
 	idB := roce.Identity{MAC: packet.MAC{2, 0, 0, 0, 0, 2}, IP: packet.AddrOf(10, 0, 0, 2)}
-	a := NewNIC(eng, cfg, idA, nil)
-	b := NewNIC(eng, cfg, idB, nil)
-	link := fabric.NewLink(eng, linkCfg, a, b, nil)
+	a := NewNIC(eng, cfg, idA)
+	b := NewNIC(eng, cfg, idB)
+	link := fabric.NewLink(eng, linkCfg, a, b)
 	a.SetTransmit(link.SendFromA)
 	b.SetTransmit(link.SendFromB)
 	if err := a.CreateQP(1, idB, 2); err != nil {

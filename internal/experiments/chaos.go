@@ -40,6 +40,7 @@ func Chaos() []Generator {
 		{"chaos-protect", ChaosProtectSweep},
 		{"chaos-incast", ChaosIncastSweep},
 		{"chaos-kv", ChaosKVSweep},
+		{"chaos-kv-large", ChaosKVLargeSweep},
 	}
 }
 

@@ -21,7 +21,7 @@ import (
 // window, so both scenarios legitimately trip it.
 var (
 	scenarioAllow = regexp.MustCompile(`^(out-discards|fcs-err|retry-storm)$`)
-	chaosAllow    = regexp.MustCompile(`^(out-discards|fcs-err|remote-access|qp-errors|watchdog|retry-storm)$`)
+	chaosAllow    = regexp.MustCompile(`^(out-discards|fcs-err|link-flap|remote-access|qp-errors|watchdog|retry-storm)$`)
 )
 
 // runJSONL runs the instrumented scenario's streaming export.
@@ -127,7 +127,7 @@ func TestJSONLChaosAlertsFire(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ReadAll: %v", err)
 	}
-	for _, rule := range []string{"out-discards", "remote-access", "qp-errors"} {
+	for _, rule := range []string{"out-discards", "link-flap", "remote-access", "qp-errors"} {
 		if tail.Fired(rule) == 0 {
 			t.Errorf("rule %q did not fire under chaos", rule)
 		}

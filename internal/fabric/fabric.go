@@ -134,7 +134,6 @@ type direction struct {
 	offline bool // administratively down: every frame is discarded
 	dst     Endpoint
 	stats   Stats
-	tracer  *sim.Tracer
 
 	// Same-engine deliveries push here and schedule drainFn (bound
 	// once), so the per-frame closure is never allocated; see sim.FIFO.
@@ -148,10 +147,10 @@ type direction struct {
 }
 
 // newDirection builds one side of a link or switch port.
-func newDirection(eng, dstEng *sim.Engine, gbps float64, prop sim.Duration, dst Endpoint, tracer *sim.Tracer) *direction {
+func newDirection(eng, dstEng *sim.Engine, gbps float64, prop sim.Duration, dst Endpoint) *direction {
 	d := &direction{
 		eng: eng, dstEng: dstEng, wire: sim.NewSerializer(eng),
-		gbps: gbps, prop: prop, dst: dst, tracer: tracer,
+		gbps: gbps, prop: prop, dst: dst,
 	}
 	d.drainFn = d.drain
 	return d
@@ -169,7 +168,6 @@ func (d *direction) send(frame []byte) {
 	// window leaves every other random decision in the run untouched.
 	if d.offline {
 		d.stats.countDrop(DropOffline)
-		d.tracer.Logf("fabric: offline, discarded frame (%d bytes)", len(frame))
 		if d.tb != nil {
 			d.tb.Instant(d.pid, d.tid, "wire", "drop:offline", fmt.Sprintf("%d bytes", len(frame)))
 		}
@@ -191,7 +189,6 @@ func (d *direction) send(frame []byte) {
 			cause = DropImpair
 		}
 		d.stats.countDrop(cause)
-		d.tracer.Logf("fabric: dropped frame (%d bytes, %v)", len(frame), cause)
 		if d.tb != nil {
 			d.tb.Instant(d.pid, d.tid, "wire", "drop:"+cause.String(), fmt.Sprintf("%d bytes", len(frame)))
 		}
@@ -204,7 +201,6 @@ func (d *direction) send(frame []byte) {
 		d.stats.Corrupted++
 		pos := d.eng.Rand().Intn(len(buf))
 		buf[pos] ^= 1 << d.eng.Rand().Intn(8)
-		d.tracer.Logf("fabric: corrupted frame at byte %d", pos)
 		if d.tb != nil {
 			d.tb.Instant(d.pid, d.tid, "wire", "corrupt", fmt.Sprintf("byte %d", pos))
 		}
@@ -213,7 +209,6 @@ func (d *direction) send(frame []byte) {
 	if v.Delay > 0 {
 		d.stats.Delayed++
 		deliverAt = deliverAt.Add(v.Delay)
-		d.tracer.Logf("fabric: delayed frame by %v", v.Delay)
 		if d.tb != nil {
 			d.tb.Instant(d.pid, d.tid, "wire", "delay", fmt.Sprintf("%v", v.Delay))
 		}
@@ -269,8 +264,8 @@ func DirectCable100G() LinkConfig {
 }
 
 // NewLink wires endpoints a and b together on one engine.
-func NewLink(eng *sim.Engine, cfg LinkConfig, a, b Endpoint, tracer *sim.Tracer) *Link {
-	return NewLinkOn(eng, eng, cfg, a, b, tracer)
+func NewLink(eng *sim.Engine, cfg LinkConfig, a, b Endpoint) *Link {
+	return NewLinkOn(eng, eng, cfg, a, b)
 }
 
 // NewLinkOn wires endpoint a (living on engA) to endpoint b (living on
@@ -281,10 +276,10 @@ func NewLink(eng *sim.Engine, cfg LinkConfig, a, b Endpoint, tracer *sim.Tracer)
 // crossing — is the conservative lookahead bound that lets both shards
 // advance in parallel. With engA == engB it degenerates to the classic
 // single-engine link, byte-identical to the historical behaviour.
-func NewLinkOn(engA, engB *sim.Engine, cfg LinkConfig, a, b Endpoint, tracer *sim.Tracer) *Link {
+func NewLinkOn(engA, engB *sim.Engine, cfg LinkConfig, a, b Endpoint) *Link {
 	return &Link{
-		a: newDirection(engA, engB, cfg.BandwidthGbps, cfg.Propagation, b, tracer),
-		b: newDirection(engB, engA, cfg.BandwidthGbps, cfg.Propagation, a, tracer),
+		a: newDirection(engA, engB, cfg.BandwidthGbps, cfg.Propagation, b),
+		b: newDirection(engB, engA, cfg.BandwidthGbps, cfg.Propagation, a),
 	}
 }
 

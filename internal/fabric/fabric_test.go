@@ -22,7 +22,7 @@ func (s *sink) DeliverFrame(f []byte) {
 func TestLinkDelivery(t *testing.T) {
 	eng := sim.NewEngine(1)
 	a, b := &sink{eng: eng}, &sink{eng: eng}
-	l := NewLink(eng, DirectCable10G(), a, b, nil)
+	l := NewLink(eng, DirectCable10G(), a, b)
 	frame := make([]byte, 1000)
 	frame[0] = 0xAB
 	eng.Schedule(0, func() { l.SendFromA(frame) })
@@ -43,7 +43,7 @@ func TestLinkDelivery(t *testing.T) {
 func TestLinkFullDuplex(t *testing.T) {
 	eng := sim.NewEngine(1)
 	a, b := &sink{eng: eng}, &sink{eng: eng}
-	l := NewLink(eng, DirectCable10G(), a, b, nil)
+	l := NewLink(eng, DirectCable10G(), a, b)
 	eng.Schedule(0, func() {
 		l.SendFromA(make([]byte, 500))
 		l.SendFromB(make([]byte, 500))
@@ -61,7 +61,7 @@ func TestLinkFullDuplex(t *testing.T) {
 func TestLinkSerializationQueueing(t *testing.T) {
 	eng := sim.NewEngine(1)
 	a, b := &sink{eng: eng}, &sink{eng: eng}
-	l := NewLink(eng, DirectCable10G(), a, b, nil)
+	l := NewLink(eng, DirectCable10G(), a, b)
 	eng.Schedule(0, func() {
 		for i := 0; i < 3; i++ {
 			l.SendFromA(make([]byte, 1000))
@@ -81,7 +81,7 @@ func TestLinkSerializationQueueing(t *testing.T) {
 func TestLinkThroughputAtLineRate(t *testing.T) {
 	eng := sim.NewEngine(1)
 	a, b := &sink{eng: eng}, &sink{eng: eng}
-	l := NewLink(eng, DirectCable10G(), a, b, nil)
+	l := NewLink(eng, DirectCable10G(), a, b)
 	const n = 1000
 	payload := 1466 // a full-MTU StRoM frame buffer
 	eng.Schedule(0, func() {
@@ -101,7 +101,7 @@ func TestLinkThroughputAtLineRate(t *testing.T) {
 func TestLinkDropInjection(t *testing.T) {
 	eng := sim.NewEngine(7)
 	a, b := &sink{eng: eng}, &sink{eng: eng}
-	l := NewLink(eng, DirectCable10G(), a, b, nil)
+	l := NewLink(eng, DirectCable10G(), a, b)
 	l.ImpairAtoB(Impairment{DropProb: 0.5})
 	const n = 1000
 	eng.Schedule(0, func() {
@@ -125,7 +125,7 @@ func TestLinkDropInjection(t *testing.T) {
 func TestLinkCorruptionInjection(t *testing.T) {
 	eng := sim.NewEngine(8)
 	a, b := &sink{eng: eng}, &sink{eng: eng}
-	l := NewLink(eng, DirectCable10G(), a, b, nil)
+	l := NewLink(eng, DirectCable10G(), a, b)
 	l.ImpairAtoB(Impairment{CorruptProb: 1.0})
 	orig := make([]byte, 100)
 	eng.Schedule(0, func() { l.SendFromA(orig) })
@@ -160,7 +160,7 @@ func popcount8(b byte) int {
 func TestLinkUtilisation(t *testing.T) {
 	eng := sim.NewEngine(1)
 	a, b := &sink{eng: eng}, &sink{eng: eng}
-	l := NewLink(eng, DirectCable10G(), a, b, nil)
+	l := NewLink(eng, DirectCable10G(), a, b)
 	eng.Schedule(0, func() { l.SendFromA(make([]byte, 1000)) })
 	eng.Run()
 	if u := l.UtilisationAtoB(); u <= 0 || u > 1 {
@@ -170,7 +170,7 @@ func TestLinkUtilisation(t *testing.T) {
 
 func TestSwitchRouting(t *testing.T) {
 	eng := sim.NewEngine(1)
-	sw := NewSwitch(eng, DirectCable10G(), 500*sim.Nanosecond, nil)
+	sw := NewSwitch(eng, DirectCable10G(), 500*sim.Nanosecond)
 	macA := packet.MAC{2, 0, 0, 0, 0, 1}
 	macB := packet.MAC{2, 0, 0, 0, 0, 2}
 	macC := packet.MAC{2, 0, 0, 0, 0, 3}
@@ -190,7 +190,7 @@ func TestSwitchRouting(t *testing.T) {
 func TestSwitchAddsForwardingLatency(t *testing.T) {
 	eng := sim.NewEngine(1)
 	fw := 2 * sim.Microsecond
-	sw := NewSwitch(eng, DirectCable10G(), fw, nil)
+	sw := NewSwitch(eng, DirectCable10G(), fw)
 	macA := packet.MAC{2, 0, 0, 0, 0, 1}
 	macB := packet.MAC{2, 0, 0, 0, 0, 2}
 	b := &sink{eng: eng}
@@ -210,7 +210,7 @@ func TestSwitchAddsForwardingLatency(t *testing.T) {
 
 func TestSwitchDropsUnknownMAC(t *testing.T) {
 	eng := sim.NewEngine(1)
-	sw := NewSwitch(eng, DirectCable10G(), 0, nil)
+	sw := NewSwitch(eng, DirectCable10G(), 0)
 	macA := packet.MAC{2, 0, 0, 0, 0, 1}
 	txA := sw.AttachPort(macA, &sink{eng: eng})
 	frame := make([]byte, 100) // dst MAC all-zero: unknown
@@ -223,7 +223,7 @@ func TestSwitchLosslessByDefault(t *testing.T) {
 	// PFC mode (unbounded queues): a burst far beyond line rate is
 	// delivered in full, just late.
 	eng := sim.NewEngine(1)
-	sw := NewSwitch(eng, DirectCable10G(), 0, nil)
+	sw := NewSwitch(eng, DirectCable10G(), 0)
 	macA := packet.MAC{2, 0, 0, 0, 0, 1}
 	macB := packet.MAC{2, 0, 0, 0, 0, 2}
 	b := &sink{eng: eng}
@@ -251,7 +251,7 @@ func TestSwitchIncastTailDrop(t *testing.T) {
 	// queue the switch must tail-drop, and the drop count plus deliveries
 	// must account for every frame.
 	eng := sim.NewEngine(2)
-	sw := NewSwitch(eng, DirectCable10G(), 0, nil)
+	sw := NewSwitch(eng, DirectCable10G(), 0)
 	sw.SetEgressQueue(16)
 	macA := packet.MAC{2, 0, 0, 0, 0, 1}
 	macB := packet.MAC{2, 0, 0, 0, 0, 2}
@@ -313,7 +313,7 @@ func (s *verdictSeq) Judge(now sim.Time, frameLen int) Verdict {
 func TestLinkDropCauseBreakdown(t *testing.T) {
 	eng := sim.NewEngine(1)
 	a, b := &sink{eng: eng}, &sink{eng: eng}
-	l := NewLink(eng, DirectCable10G(), a, b, nil)
+	l := NewLink(eng, DirectCable10G(), a, b)
 	l.SetFaultsAtoB(&verdictSeq{vs: []Verdict{
 		{Drop: true},                   // zero cause: chaos bucket
 		{Drop: true, Cause: DropFlap},  // explicit flap
@@ -357,7 +357,7 @@ func TestLinkDropCauseBreakdown(t *testing.T) {
 func TestLinkImpairDropCause(t *testing.T) {
 	eng := sim.NewEngine(2)
 	a, b := &sink{eng: eng}, &sink{eng: eng}
-	l := NewLink(eng, DirectCable10G(), a, b, nil)
+	l := NewLink(eng, DirectCable10G(), a, b)
 	l.ImpairAtoB(Impairment{DropProb: 1})
 	eng.Schedule(0, func() { l.SendFromA(make([]byte, 64)) })
 	eng.Run()

@@ -76,9 +76,8 @@ type SwitchPortStats struct {
 // to the switch through cross-shard events bounded by the cable
 // propagation delay.
 type Switch struct {
-	eng    *sim.Engine
-	cfg    SwitchConfig
-	tracer *sim.Tracer
+	eng *sim.Engine
+	cfg SwitchConfig
 
 	ports []*swPort
 	byMAC map[packet.MAC]*swPort
@@ -111,16 +110,16 @@ type swPort struct {
 // NewSwitch creates a switch whose ports all run at link's bandwidth and
 // that adds forwarding delay per frame: the historical lossless,
 // unbounded-buffer configuration (no PFC, no ECN).
-func NewSwitch(eng *sim.Engine, link LinkConfig, forwarding sim.Duration, tracer *sim.Tracer) *Switch {
-	return NewSwitchCfg(eng, SwitchConfig{Link: link, Forwarding: forwarding}, tracer)
+func NewSwitch(eng *sim.Engine, link LinkConfig, forwarding sim.Duration) *Switch {
+	return NewSwitchCfg(eng, SwitchConfig{Link: link, Forwarding: forwarding})
 }
 
 // NewSwitchCfg creates a switch from a full SwitchConfig.
-func NewSwitchCfg(eng *sim.Engine, cfg SwitchConfig, tracer *sim.Tracer) *Switch {
+func NewSwitchCfg(eng *sim.Engine, cfg SwitchConfig) *Switch {
 	if cfg.PFCPauseBytes > 0 && cfg.PFCResumeBytes == 0 {
 		cfg.PFCResumeBytes = cfg.PFCPauseBytes / 2
 	}
-	return &Switch{eng: eng, cfg: cfg, tracer: tracer, byMAC: make(map[packet.MAC]*swPort)}
+	return &Switch{eng: eng, cfg: cfg, byMAC: make(map[packet.MAC]*swPort)}
 }
 
 // SetEgressQueue bounds every egress queue to capFrames; zero restores
@@ -220,7 +219,7 @@ func (s *Switch) AttachPortOn(nicEng *sim.Engine, mac packet.MAC, ep Endpoint) *
 		sw:  s,
 		idx: len(s.ports),
 		mac: mac,
-		dir: newDirection(s.eng, nicEng, s.cfg.Link.BandwidthGbps, s.cfg.Link.Propagation, ep, s.tracer),
+		dir: newDirection(s.eng, nicEng, s.cfg.Link.BandwidthGbps, s.cfg.Link.Propagation, ep),
 	}
 	sp.nic = &Port{sw: s, p: sp, eng: nicEng, uplink: sim.NewSerializer(nicEng)}
 	s.ports = append(s.ports, sp)
@@ -354,7 +353,6 @@ func (s *Switch) ingress(from *swPort, prio uint8, buf []byte) {
 	copy(dst[:], buf[0:6])
 	out, ok := s.byMAC[dst]
 	if !ok {
-		s.tracer.Logf("switch: no port for %v, dropping", dst)
 		from.stats.Discards++
 		from.stats.DiscardNoRoute++
 		packet.PutBuf(buf)
@@ -363,7 +361,6 @@ func (s *Switch) ingress(from *swPort, prio uint8, buf []byte) {
 	n := len(buf)
 	if s.cfg.BufferBytes > 0 {
 		if s.totalUsed+n > s.cfg.BufferBytes {
-			s.tracer.Logf("switch: pool full (%d/%d bytes), dropping", s.totalUsed, s.cfg.BufferBytes)
 			from.stats.Discards++
 			from.stats.DiscardOverflow++
 			packet.PutBuf(buf)
@@ -372,7 +369,6 @@ func (s *Switch) ingress(from *swPort, prio uint8, buf []byte) {
 		if s.cfg.DynamicAlpha > 0 {
 			limit := s.cfg.PortReserveBytes + int(s.cfg.DynamicAlpha*float64(s.cfg.BufferBytes-s.totalUsed))
 			if from.used+n > limit {
-				s.tracer.Logf("switch: port %d over dynamic threshold (%d+%d > %d), dropping", from.idx, from.used, n, limit)
 				from.stats.Discards++
 				from.stats.DiscardThreshold++
 				packet.PutBuf(buf)
@@ -381,7 +377,6 @@ func (s *Switch) ingress(from *swPort, prio uint8, buf []byte) {
 		}
 	}
 	if s.cfg.EgressCapFrames > 0 && out.eqFrames >= s.cfg.EgressCapFrames {
-		s.tracer.Logf("switch: egress %v full (%d frames), tail drop", dst, out.eqFrames)
 		out.stats.Discards++
 		out.stats.DiscardEgressCap++
 		packet.PutBuf(buf)
@@ -418,7 +413,6 @@ func (s *Switch) checkPause(from *swPort, prio uint8) {
 	}
 	from.paused[prio] = true
 	from.stats.PauseTx++
-	s.tracer.Logf("switch: pause port %d prio %d (%d buffered bytes)", from.idx, prio, from.usedPrio[prio])
 	nic, pr := from.nic, prio
 	s.eng.CrossScheduleAt(nic.eng, s.eng.Now().Add(s.cfg.Link.Propagation), func() { nic.setPaused(pr, true) })
 }
@@ -436,7 +430,6 @@ func (s *Switch) release(from, out *swPort, prio uint8, n int) {
 	}
 	from.paused[prio] = false
 	from.stats.ResumeTx++
-	s.tracer.Logf("switch: resume port %d prio %d (%d buffered bytes)", from.idx, prio, from.usedPrio[prio])
 	nic, pr := from.nic, prio
 	s.eng.CrossScheduleAt(nic.eng, s.eng.Now().Add(s.cfg.Link.Propagation), func() { nic.setPaused(pr, false) })
 }

@@ -52,7 +52,7 @@ func runPFCCase(t *testing.T, c pfcCase) (*Switch, [2]*Port, *sink) {
 		Forwarding:     500 * sim.Nanosecond,
 		PFCPauseBytes:  c.pauseBytes,
 		PFCResumeBytes: c.resumeBytes,
-	}, nil)
+	})
 	recv := &sink{eng: eng}
 	var ports [2]*Port
 	ports[0] = sw.AttachPortOn(eng, macA, &sink{eng: eng})
@@ -175,7 +175,7 @@ func TestPFCCycleDeadlockFree(t *testing.T) {
 		Forwarding:     500 * sim.Nanosecond,
 		PFCPauseBytes:  2000,
 		PFCResumeBytes: 1000,
-	}, nil)
+	})
 	hops := 0
 	const wantHops = 600
 	ha := &hopper{next: macB, hops: &hops, stop: wantHops}
@@ -220,7 +220,7 @@ func TestSwitchECNMarking(t *testing.T) {
 			Link:              DirectCable10G(),
 			Forwarding:        500 * sim.Nanosecond,
 			ECNThresholdBytes: threshold,
-		}, nil)
+		})
 		recv := &sink{eng: eng}
 		a := sw.AttachPortOn(eng, macA, &sink{eng: eng})
 		b := sw.AttachPortOn(eng, macB, &sink{eng: eng})
@@ -273,7 +273,7 @@ func TestSwitchConservation(t *testing.T) {
 		PortReserveBytes: 1000,
 		DynamicAlpha:     0.5,
 		EgressCapFrames:  3,
-	}, nil)
+	})
 	recv := &sink{eng: eng}
 	a := sw.AttachPortOn(eng, macA, &sink{eng: eng})
 	b := sw.AttachPortOn(eng, macB, &sink{eng: eng})
@@ -340,7 +340,7 @@ func FuzzSwitchArbitration(f *testing.F) {
 			cfg.DynamicAlpha = 0.25
 		}
 		eng := sim.NewEngine(1)
-		sw := NewSwitchCfg(eng, cfg, nil)
+		sw := NewSwitchCfg(eng, cfg)
 		ports := make([]*Port, n)
 		sinks := make([]*sink, n)
 		for i := 0; i < n; i++ {

@@ -160,16 +160,36 @@ var (
 // Read performs a consistent read via the kernel: post the RPC, poll for
 // the status word, return the verified object (checksum included).
 func Read(p *sim.Process, nic *core.NIC, qpn uint32, rpcOp uint64, params Params) ([]byte, error) {
+	return read(p, nic, qpn, rpcOp, params, 0)
+}
+
+// ReadDeadline is Read with a bound: both the RPC verb and the status
+// poll give up at deadline, so a crashed responder surfaces
+// sim.ErrDeadlineExceeded instead of hanging the caller — the shape the
+// KV client's bounded retry loop needs.
+func ReadDeadline(p *sim.Process, nic *core.NIC, qpn uint32, rpcOp uint64, params Params, deadline sim.Time) ([]byte, error) {
+	return read(p, nic, qpn, rpcOp, params, deadline)
+}
+
+func read(p *sim.Process, nic *core.NIC, qpn uint32, rpcOp uint64, params Params, deadline sim.Time) ([]byte, error) {
 	statusVA := hostmem.Addr(params.ResponseAddress + uint64(params.ObjectSize))
 	if err := nic.Memory().WriteVirt(statusVA, make([]byte, 8)); err != nil {
 		return nil, err
 	}
-	if err := nic.RPCSync(p, qpn, rpcOp, params.Encode()); err != nil {
+	var timeout sim.Duration
+	if deadline != 0 {
+		if err := nic.RPCSyncDeadline(p, qpn, rpcOp, params.Encode(), deadline); err != nil {
+			return nil, err
+		}
+		if timeout = deadline.Sub(p.Now()); timeout <= 0 {
+			timeout = 1 // already past the deadline: one poll iteration, then give up
+		}
+	} else if err := nic.RPCSync(p, qpn, rpcOp, params.Encode()); err != nil {
 		return nil, err
 	}
 	raw, err := nic.Host().Poll(p, nic.Memory(), statusVA, 8, func(b []byte) bool {
 		return binary.LittleEndian.Uint64(b) != 0
-	}, 0)
+	}, timeout)
 	if err != nil {
 		return nil, err
 	}

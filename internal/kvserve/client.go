@@ -7,23 +7,26 @@ import (
 	"sort"
 
 	"strom/internal/hostmem"
+	"strom/internal/kvstore"
 	"strom/internal/roce"
 	"strom/internal/sim"
 	"strom/internal/telemetry"
 	"strom/internal/testrig"
 )
 
-// Stats counts the client's protocol activity. The last four are the
-// guarantee counters: StaleServed and Misapplied must stay zero on any
-// run (they mean a Get returned data older than an acked write, or a
-// slot held bytes no issued write could have produced), while
-// DupSuppressed and StaleRerouted count the times the protocol had to
-// work to keep them zero.
+// Stats counts the client's protocol activity. StaleServed, Misapplied
+// and TornServed are the guarantee counters: they must stay zero on any
+// run (they mean a Get returned data older than an acked write, a slot
+// held bytes no issued write could have produced, or a torn large value
+// crossed the serve boundary), while DupSuppressed, StaleRerouted and
+// the Torn* detection counters count the times the protocol had to work
+// to keep them zero.
 type Stats struct {
 	Puts        uint64 // Put/Delete operations issued
 	AckedPuts   uint64 // Puts acked by at least one replica
 	UnackedPuts uint64 // Puts no replica accepted (client surfaced an error)
 	Deletes     uint64 // subset of Puts that were tombstone writes
+	LargePuts   uint64 // subset of Puts that spilled to an extent
 	Gets        uint64 // Get operations issued
 	GetMisses   uint64 // Gets finding no write (empty slot)
 	GetFailures uint64 // Gets that could not reach any replica
@@ -38,8 +41,20 @@ type Stats struct {
 
 	DupSuppressed uint64 // ambiguous retries resolved by the version probe
 	StaleRerouted uint64 // stale replica reads detected and rerouted
-	StaleServed   uint64 // VIOLATION: all replicas behind an acked write
-	Misapplied    uint64 // VIOLATION: slot bytes not equal to ValueFor
+
+	SpilledReads  uint64 // consistency-kernel extent reads issued
+	TornDetected  uint64 // torn reads detected (CRC fail or slot/extent skew)
+	TornRetries   uint64 // torn reads retried under the budget
+	TornFailovers uint64 // replicas abandoned after the torn budget ran dry
+	TornOverwrite uint64 // class: concurrent overwrite (extent ahead of slot)
+	TornReused    uint64 // class: arena offset recycled to another key
+	TornStaleRep  uint64 // class: extent behind slot (stale replica state)
+	TornCorrupt   uint64 // class: CRC mismatch survived the kernel re-reads
+	OrphansReaped uint64 // unpublished extent images destroyed by overwrite/free
+
+	StaleServed uint64 // VIOLATION: all replicas behind an acked write
+	Misapplied  uint64 // VIOLATION: slot/extent bytes not equal to the value fn
+	TornServed  uint64 // VIOLATION: a torn large value crossed the serve boundary
 }
 
 // conn is the client's connection to one server.
@@ -47,6 +62,42 @@ type conn struct {
 	qpc  uint32 // client-side QPN
 	qps  uint32 // server-side QPN
 	rkey uint32 // cached rkey of the server's buffer region
+}
+
+// session is one in-flight operation's slice of the client buffer: a
+// slot staging area, an extent staging area, and a landing area big
+// enough for an extent plus the consistency kernel's status word. Ops
+// acquire a session at entry and release it on return, so concurrent
+// client processes (the chaos regime's racing overwriter) never clobber
+// each other's staged bytes.
+type session struct {
+	slot hostmem.Addr // SlotSize staging for slot writes
+	ext  hostmem.Addr // ExtentSize staging for extent writes
+	read hostmem.Addr // ExtentSize+16 landing area for reads and kernel responses
+}
+
+// sessionBytes is the client-buffer footprint of one session.
+const sessionBytes = SlotSize + ExtentSize + ExtentSize + 16
+
+// opKind discriminates the put body's three shapes.
+type opKind int
+
+const (
+	opInline opKind = iota
+	opDelete
+	opLarge
+)
+
+// extRef tracks a spilled key's arena extent: the offset (the same in
+// every replica's arena — the client is the only allocator) and, per
+// server, the highest version written into that replica's extent and
+// the highest version whose pointer slot was published there. wrote >
+// pub is an orphan: extent content no published slot references, which
+// only a torn read can reach and detection refuses to serve.
+type extRef struct {
+	off   int
+	wrote []uint64
+	pub   []uint64
 }
 
 // Client is the KV dataplane's requester: it owns the shard map, the
@@ -61,6 +112,12 @@ type conn struct {
 // in-order PSN application (a late retransmission can never overtake a
 // newer write on the same QP) this means no acked Put is ever applied
 // twice or regressed.
+//
+// Large values (see extent.go) add the publish ordering: the extent is
+// written before the slot on the same QP, so a published slot always
+// has its extent behind it; the remaining race — slot read at version
+// v, extent overwritten before the kernel read — is detected, never
+// served.
 type Client struct {
 	net     *testrig.Net
 	lay     Layout
@@ -69,25 +126,35 @@ type Client struct {
 	servers []*Server
 	conns   []conn
 
-	down      []bool            // shard map health, per server
-	repairDue []bool            // server came back with a deficit to drain
+	down      []bool              // shard map health, per server
+	repairDue []bool              // server came back with a deficit to drain
 	deficits  []map[uint64]uint64 // per server: key -> version owed
 
-	scratch hostmem.Addr // SlotSize staging area for writes
-	readVA  hostmem.Addr // SlotSize landing area for reads
+	pool []*session // free sessions, LIFO
 
 	issued  map[uint64]uint64          // per key: highest version handed out
 	acked   map[uint64]uint64          // per key: highest version acked
 	deleted map[uint64]map[uint64]bool // key -> versions that were tombstones
+	larges  map[uint64]map[uint64]bool // key -> versions that spilled to an extent
+	ext     map[uint64]*extRef         // spilled keys' live extents
+	arenas  []*kvstore.FixedArena      // per shard: extent offset allocator
 
 	bo          sim.Backoff
 	deadline    sim.Duration
 	maxAttempts int
+	tornBudget  int
 
-	histPut *telemetry.Histogram
-	histGet *telemetry.Histogram
-	PutLat  []sim.Duration // per-acked-Put latency samples
-	GetLat  []sim.Duration // per-successful-Get latency samples
+	// testAfterExtentWrite, when set, runs after a replica's extent write
+	// completes and before its slot publish — the window the failover
+	// edge-case tests crash servers in.
+	testAfterExtentWrite func(p *sim.Process, server int, key, ver uint64)
+
+	reg       *telemetry.Registry
+	histPut   *telemetry.Histogram
+	histGet   *telemetry.Histogram
+	histLarge *telemetry.Histogram // lazily registered on first PutLarge
+	PutLat    []sim.Duration // per-acked-Put latency samples
+	GetLat    []sim.Duration // per-successful-Get latency samples
 
 	Stats Stats
 }
@@ -100,6 +167,9 @@ func (c *Client) Acked(key uint64) uint64 { return c.acked[key] }
 
 // Down reports whether the shard map currently marks server down.
 func (c *Client) Down(server int) bool { return c.down[server] }
+
+// LiveExtents reports the number of keys currently holding an extent.
+func (c *Client) LiveExtents() int { return len(c.ext) }
 
 // MarkDown flips a server to down in the shard map. Called by the
 // telemetry failover controller when the heartbeat watchdog fires, and
@@ -125,14 +195,45 @@ func (c *Client) MarkUp(server int) {
 	}
 }
 
+// Health is the client's scrape function for the JSONL recorder: the
+// torn-read detection surface the torn-read rate rule watches.
+func (c *Client) Health() (map[string]uint64, map[string]float64) {
+	return map[string]uint64{
+		"kv_torn_detected":  c.Stats.TornDetected,
+		"kv_torn_retries":   c.Stats.TornRetries,
+		"kv_torn_failover":  c.Stats.TornFailovers,
+		"kv_spilled_reads":  c.Stats.SpilledReads,
+		"kv_orphans_reaped": c.Stats.OrphansReaped,
+	}, nil
+}
+
+// acquire pops a free session; every public op holds exactly one.
+func (c *Client) acquire() (*session, error) {
+	n := len(c.pool)
+	if n == 0 {
+		return nil, fmt.Errorf("kvserve: session pool exhausted (raise Config.Sessions past the number of concurrent client processes)")
+	}
+	s := c.pool[n-1]
+	c.pool = c.pool[:n-1]
+	return s, nil
+}
+
+func (c *Client) release(s *session) { c.pool = append(c.pool, s) }
+
 // wasDelete reports whether (key, ver) was issued as a tombstone.
 func (c *Client) wasDelete(key, ver uint64) bool { return c.deleted[key][ver] }
+
+// wasLarge reports whether (key, ver) was issued as a spilled write.
+func (c *Client) wasLarge(key, ver uint64) bool { return c.larges[key][ver] }
 
 // expectedVal returns the bytes (nil for a tombstone) that version ver
 // of key must carry.
 func (c *Client) expectedVal(key, ver uint64) []byte {
 	if c.wasDelete(key, ver) {
 		return nil
+	}
+	if c.wasLarge(key, ver) {
+		return LargeValueFor(key, ver)
 	}
 	return ValueFor(key, ver)
 }
@@ -174,30 +275,84 @@ func (c *Client) recover(p *sim.Process, server, attempt int) error {
 	return nil
 }
 
-// writeSlot pushes the staged slot image to one replica slot.
-func (c *Client) writeSlot(p *sim.Process, server int, va hostmem.Addr) error {
+// writeSlot pushes the session's staged slot image to one replica slot.
+func (c *Client) writeSlot(p *sim.Process, sess *session, server int, va hostmem.Addr) error {
 	cn := &c.conns[server]
-	return c.m.NIC.WriteKeySyncDeadline(p, cn.qpc, uint64(c.scratch), uint64(va), cn.rkey, SlotSize, p.Now().Add(c.deadline))
+	return c.m.NIC.WriteKeySyncDeadline(p, cn.qpc, uint64(sess.slot), uint64(va), cn.rkey, SlotSize, p.Now().Add(c.deadline))
 }
 
-// readRemote pulls nbytes at va from one replica into the read area
-// and returns them.
-func (c *Client) readRemote(p *sim.Process, server int, va hostmem.Addr, nbytes int) ([]byte, error) {
+// writeExtent pushes the session's staged extent image to one replica
+// arena slot.
+func (c *Client) writeExtent(p *sim.Process, sess *session, server int, va hostmem.Addr) error {
 	cn := &c.conns[server]
-	if err := c.m.NIC.ReadKeySyncDeadline(p, cn.qpc, uint64(va), uint64(c.readVA), cn.rkey, nbytes, p.Now().Add(c.deadline)); err != nil {
+	return c.m.NIC.WriteKeySyncDeadline(p, cn.qpc, uint64(sess.ext), uint64(va), cn.rkey, ExtentSize, p.Now().Add(c.deadline))
+}
+
+// readRemote pulls nbytes at va from one replica into the session's
+// landing area and returns them.
+func (c *Client) readRemote(p *sim.Process, sess *session, server int, va hostmem.Addr, nbytes int) ([]byte, error) {
+	cn := &c.conns[server]
+	if err := c.m.NIC.ReadKeySyncDeadline(p, cn.qpc, uint64(va), uint64(sess.read), cn.rkey, nbytes, p.Now().Add(c.deadline)); err != nil {
 		return nil, err
 	}
-	return c.m.NIC.Memory().ReadVirt(c.readVA, nbytes)
+	return c.m.NIC.Memory().ReadVirt(sess.read, nbytes)
+}
+
+// stagedWrite describes what stageVersion put in the session buffers.
+type stagedWrite struct {
+	key, ver uint64
+	spilled  bool
+	off      int // arena offset, when spilled
+}
+
+// stageVersion writes the slot (and, for a spilled version, extent)
+// image for (key, ver) into the session staging areas.
+func (c *Client) stageVersion(sess *session, key, ver uint64) (stagedWrite, error) {
+	sw := stagedWrite{key: key, ver: ver}
+	var flags uint32
+	var payload []byte
+	switch {
+	case c.wasDelete(key, ver):
+		flags = FlagTombstone
+	case c.wasLarge(key, ver):
+		ref := c.ext[key]
+		if ref == nil {
+			return sw, fmt.Errorf("kvserve: key %d ver %d spilled but has no extent", key, ver)
+		}
+		val := LargeValueFor(key, ver)
+		img, err := EncodeExtent(key, ver, val)
+		if err != nil {
+			return sw, err
+		}
+		if err := c.m.NIC.Memory().WriteVirt(sess.ext, img); err != nil {
+			return sw, err
+		}
+		sw.spilled, sw.off = true, ref.off
+		flags = FlagSpilled
+		payload = EncodeSpillRef(ref.off, len(val))
+	default:
+		payload = ValueFor(key, ver)
+	}
+	slot, err := EncodeSlot(key, ver, payload, flags)
+	if err != nil {
+		return sw, err
+	}
+	return sw, c.m.NIC.Memory().WriteVirt(sess.slot, slot)
 }
 
 // putReplica drives one replica write to completion: bounded retries
 // with backoff, reconnect and rkey refetch, and the duplicate-
-// suppression probe before every retry of an ambiguous failure.
-func (c *Client) putReplica(p *sim.Process, server int, va hostmem.Addr, ver uint64) error {
+// suppression probe before every retry of an ambiguous failure. A
+// spilled write applies the publish ordering: extent first, slot
+// second, on the same QP, each awaited — the slot can never be visible
+// before its extent.
+func (c *Client) putReplica(p *sim.Process, sess *session, server int, sw stagedWrite) error {
 	if c.down[server] {
 		return fmt.Errorf("%w: server %d marked down", ErrUnavailable, server)
 	}
-	ambiguous := false
+	sh := c.lay.ShardOf(sw.key)
+	srv := c.servers[server]
+	slotVA := c.lay.SlotAddr(srv.TableFor(c.lay, sh), sw.key)
 	var lastErr error
 	for attempt := 0; attempt < c.maxAttempts; attempt++ {
 		if attempt > 0 {
@@ -206,20 +361,35 @@ func (c *Client) putReplica(p *sim.Process, server int, va hostmem.Addr, ver uin
 				c.MarkDown(server)
 				return err
 			}
-			if ambiguous {
-				// The failed attempt may have landed before its deadline
-				// expired: probe the slot's version field and suppress the
-				// retry if the write is already applied.
-				if b, err := c.readRemote(p, server, va+slotVerOff, 8); err == nil {
-					if got := binary.LittleEndian.Uint64(b); got >= ver {
-						c.Stats.DupSuppressed++
-						return nil
-					}
+			// The failed attempt may have landed before its deadline
+			// expired — or, with a second writer process racing this key
+			// (the chaos regime's overwriter), a newer version may have
+			// been published while we backed off. Probe the slot's version
+			// field and suppress the retry if this or a newer write is
+			// already applied: rewriting would regress the slot.
+			if b, err := c.readRemote(p, sess, server, slotVA+slotVerOff, 8); err == nil {
+				if got := binary.LittleEndian.Uint64(b); got >= sw.ver {
+					c.Stats.DupSuppressed++
+					c.notePublished(server, sw)
+					return nil
 				}
 			}
 		}
-		err := c.writeSlot(p, server, va)
+		var err error
+		if sw.spilled {
+			extVA := c.lay.ExtentAddr(srv.ArenaFor(c.lay, sh), sw.off)
+			if err = c.writeExtent(p, sess, server, extVA); err == nil {
+				c.noteExtentWritten(server, sw)
+				if h := c.testAfterExtentWrite; h != nil {
+					h(p, server, sw.key, sw.ver)
+				}
+				err = c.writeSlot(p, sess, server, slotVA)
+			}
+		} else {
+			err = c.writeSlot(p, sess, server, slotVA)
+		}
 		if err == nil {
+			c.notePublished(server, sw)
 			return nil
 		}
 		lastErr = err
@@ -228,10 +398,8 @@ func (c *Client) putReplica(p *sim.Process, server int, va hostmem.Addr, ver uin
 			// NAK'd by the MR check: nothing was applied, but the cached
 			// rkey is stale (a restart rotated it). Refetch and retry; the
 			// recover step will clear the ERROR state the NAK left behind.
-			ambiguous = false
 			c.refetchRKey(server)
 		case errors.Is(err, sim.ErrDeadlineExceeded), errors.Is(err, roce.ErrQPError):
-			ambiguous = true
 		default:
 			return err
 		}
@@ -239,32 +407,63 @@ func (c *Client) putReplica(p *sim.Process, server int, va hostmem.Addr, ver uin
 	return lastErr
 }
 
-// stage writes the slot image for (key, ver) into the staging area.
-func (c *Client) stage(key, ver uint64) error {
-	var flags uint32
-	var val []byte
-	if c.wasDelete(key, ver) {
-		flags = FlagTombstone
-	} else {
-		val = ValueFor(key, ver)
+// noteExtentWritten records that replica server's extent for sw.key now
+// holds sw.ver. If the image it overwrote was never published there,
+// that orphan is now reaped — destroyed without ever being servable.
+func (c *Client) noteExtentWritten(server int, sw stagedWrite) {
+	ref := c.ext[sw.key]
+	if ref == nil || ref.off != sw.off {
+		return // key went inline and the offset was recycled mid-flight
 	}
-	slot, err := EncodeSlot(key, ver, val, flags)
-	if err != nil {
-		return err
+	if w := ref.wrote[server]; w > ref.pub[server] && w != sw.ver {
+		c.Stats.OrphansReaped++
 	}
-	return c.m.NIC.Memory().WriteVirt(c.scratch, slot)
+	ref.wrote[server] = sw.ver
 }
 
-// put is the shared body of Put and Delete.
-func (c *Client) put(p *sim.Process, key uint64, del bool) error {
+// notePublished records a successful slot publish of sw at server.
+func (c *Client) notePublished(server int, sw stagedWrite) {
+	if !sw.spilled {
+		return
+	}
+	if ref := c.ext[sw.key]; ref != nil && ref.off == sw.off && ref.pub[server] < sw.ver {
+		ref.pub[server] = sw.ver
+	}
+}
+
+// freeExtent reaps any unpublished replica images and returns the key's
+// arena offset to the shard allocator. Called when an inline write or
+// tombstone supersedes a spilled value.
+func (c *Client) freeExtent(key uint64) {
+	ref := c.ext[key]
+	if ref == nil {
+		return
+	}
+	for s := range ref.wrote {
+		if ref.wrote[s] > ref.pub[s] {
+			c.Stats.OrphansReaped++
+		}
+	}
+	c.arenas[c.lay.ShardOf(key)].Free(ref.off)
+	delete(c.ext, key)
+}
+
+// put is the shared body of Put, Delete and PutLarge.
+func (c *Client) put(p *sim.Process, key uint64, kind opKind) error {
 	if key == 0 || key > c.lay.NumKeys {
 		return fmt.Errorf("kvserve: key %d outside 1..%d", key, c.lay.NumKeys)
 	}
+	sess, err := c.acquire()
+	if err != nil {
+		return err
+	}
+	defer c.release(sess)
 	start := p.Now()
 	ver := c.issued[key] + 1
 	c.issued[key] = ver
 	c.Stats.Puts++
-	if del {
+	switch kind {
+	case opDelete:
 		c.Stats.Deletes++
 		m := c.deleted[key]
 		if m == nil {
@@ -272,15 +471,38 @@ func (c *Client) put(p *sim.Process, key uint64, del bool) error {
 			c.deleted[key] = m
 		}
 		m[ver] = true
+		c.freeExtent(key)
+	case opLarge:
+		c.Stats.LargePuts++
+		m := c.larges[key]
+		if m == nil {
+			m = make(map[uint64]bool)
+			c.larges[key] = m
+		}
+		m[ver] = true
+		if c.ext[key] == nil {
+			// First spill for this key: claim an arena slot. Later spills
+			// overwrite it in place, so the offset is stable across
+			// versions (and the racing regime's writes land exactly where
+			// a concurrent reader is looking).
+			off, err := c.arenas[c.lay.ShardOf(key)].Alloc()
+			if err != nil {
+				return err
+			}
+			s := len(c.servers)
+			c.ext[key] = &extRef{off: off, wrote: make([]uint64, s), pub: make([]uint64, s)}
+		}
+	default:
+		c.freeExtent(key)
 	}
-	if err := c.stage(key, ver); err != nil {
+	sw, err := c.stageVersion(sess, key, ver)
+	if err != nil {
 		return err
 	}
 	sh := c.lay.ShardOf(key)
 	ackedAny := false
 	for _, server := range []int{c.lay.PrimaryServer(sh), c.lay.BackupServer(sh)} {
-		va := c.lay.SlotAddr(c.servers[server].TableFor(c.lay, sh), key)
-		if err := c.putReplica(p, server, va, ver); err == nil {
+		if err := c.putReplica(p, sess, server, sw); err == nil {
 			ackedAny = true
 			delete(c.deficits[server], key)
 		} else {
@@ -297,21 +519,33 @@ func (c *Client) put(p *sim.Process, key uint64, del bool) error {
 	c.Stats.AckedPuts++
 	d := p.Now().Sub(start)
 	c.PutLat = append(c.PutLat, d)
-	c.histPut.Observe(d)
+	if kind == opLarge {
+		if c.histLarge == nil {
+			c.histLarge = c.reg.Histogram("kv_op_latency_ps", "ps", telemetry.L("op", "put-large"))
+		}
+		c.histLarge.Observe(d)
+	} else {
+		c.histPut.Observe(d)
+	}
 	return nil
 }
 
 // Put writes the deterministic value for the key's next version to both
 // replicas, acking once at least one holds it.
-func (c *Client) Put(p *sim.Process, key uint64) error { return c.put(p, key, false) }
+func (c *Client) Put(p *sim.Process, key uint64) error { return c.put(p, key, opInline) }
+
+// PutLarge writes the deterministic large value (25..96 B) for the
+// key's next version: extent first, version-stamped pointer slot
+// second, to both replicas.
+func (c *Client) PutLarge(p *sim.Process, key uint64) error { return c.put(p, key, opLarge) }
 
 // Delete writes a tombstone version — ordered, versioned and replicated
-// exactly like any other Put.
-func (c *Client) Delete(p *sim.Process, key uint64) error { return c.put(p, key, true) }
+// exactly like any other Put. Deleting a spilled key frees its extent.
+func (c *Client) Delete(p *sim.Process, key uint64) error { return c.put(p, key, opDelete) }
 
 // getReplica reads one replica's slot with bounded retries (reads are
 // idempotent, so no duplicate suppression is needed).
-func (c *Client) getReplica(p *sim.Process, server int, va hostmem.Addr) (Slot, error) {
+func (c *Client) getReplica(p *sim.Process, sess *session, server int, va hostmem.Addr) (Slot, error) {
 	if c.down[server] {
 		return Slot{}, fmt.Errorf("%w: server %d marked down", ErrUnavailable, server)
 	}
@@ -324,7 +558,7 @@ func (c *Client) getReplica(p *sim.Process, server int, va hostmem.Addr) (Slot, 
 				return Slot{}, err
 			}
 		}
-		b, err := c.readRemote(p, server, va, SlotSize)
+		b, err := c.readRemote(p, sess, server, va, SlotSize)
 		if err == nil {
 			s := DecodeSlot(b)
 			s.Val = append([]byte(nil), s.Val...)
@@ -345,12 +579,20 @@ func (c *Client) getReplica(p *sim.Process, server int, va hostmem.Addr) (Slot, 
 // Get reads a key, preferring the primary replica and failing over to
 // the backup. A replica is only trusted if its slot version has caught
 // up with the highest acked write — a read behind that is rerouted, so
-// a Get can never observe a value staler than an acked Put. Found
-// reports whether the key currently has a live (non-tombstone) value.
+// a Get can never observe a value staler than an acked Put. A spilled
+// slot routes through the consistency kernel (getSpilled); a torn
+// extent read is retried under the torn budget and fails over past it.
+// Found reports whether the key currently has a live (non-tombstone)
+// value.
 func (c *Client) Get(p *sim.Process, key uint64) (slot Slot, found bool, err error) {
 	if key == 0 || key > c.lay.NumKeys {
 		return Slot{}, false, fmt.Errorf("kvserve: key %d outside 1..%d", key, c.lay.NumKeys)
 	}
+	sess, err := c.acquire()
+	if err != nil {
+		return Slot{}, false, err
+	}
+	defer c.release(sess)
 	start := p.Now()
 	c.Stats.Gets++
 	sh := c.lay.ShardOf(key)
@@ -363,7 +605,7 @@ func (c *Client) Get(p *sim.Process, key uint64) (slot Slot, found bool, err err
 	staleReads := 0
 	var lastErr error
 	for _, server := range order {
-		slot, rerr := c.getReplica(p, server, c.lay.SlotAddr(c.servers[server].TableFor(c.lay, sh), key))
+		slot, rerr := c.getReplica(p, sess, server, c.lay.SlotAddr(c.servers[server].TableFor(c.lay, sh), key))
 		if rerr != nil {
 			lastErr = rerr
 			continue
@@ -374,7 +616,26 @@ func (c *Client) Get(p *sim.Process, key uint64) (slot Slot, found bool, err err
 			lastErr = fmt.Errorf("%w: server %d at ver %d, acked %d", ErrStale, server, slot.Ver, want)
 			continue
 		}
-		c.checkSlot(key, slot)
+		if slot.Flags&FlagSpilled != 0 {
+			s2, val, gerr := c.getSpilled(p, sess, server, key, slot, want)
+			if gerr != nil {
+				lastErr = gerr
+				if errors.Is(gerr, ErrStale) {
+					staleReads++
+				}
+				continue
+			}
+			slot = s2
+			if slot.Flags&FlagSpilled != 0 {
+				slot.Val = val
+				c.checkLarge(key, slot)
+			} else {
+				// The key went back inline while we chased the extent.
+				c.checkSlot(key, slot)
+			}
+		} else {
+			c.checkSlot(key, slot)
+		}
 		if server != prim {
 			c.Stats.Failovers++
 		}
@@ -397,9 +658,12 @@ func (c *Client) Get(p *sim.Process, key uint64) (slot Slot, found bool, err err
 	return Slot{}, false, lastErr
 }
 
-// checkSlot audits a successfully read slot against the deterministic
-// value function; any divergence is a misapplied write.
+// checkSlot audits a successfully read inline slot against the
+// deterministic value function; any divergence is a misapplied write.
 func (c *Client) checkSlot(key uint64, s Slot) {
+	if s.Flags&FlagSpilled != 0 {
+		return // spilled slots are checked end-to-end by checkLarge
+	}
 	if s.Ver == 0 {
 		if s.Key != 0 || len(s.Val) != 0 {
 			c.Stats.Misapplied++
@@ -421,6 +685,31 @@ func (c *Client) checkSlot(key uint64, s Slot) {
 	}
 	for i := range want {
 		if s.Val[i] != want[i] {
+			c.Stats.Misapplied++
+			return
+		}
+	}
+}
+
+// checkLarge audits a spilled value about to be served. The extent
+// already passed the kernel CRC and the slot/extent cross-check, so the
+// value must equal the deterministic function of its version stamp —
+// anything else means a torn value made it past detection, the exact
+// violation the chaos audit gates on.
+func (c *Client) checkLarge(key uint64, s Slot) {
+	if s.Key != key || s.Ver == 0 || s.Ver > c.issued[key] {
+		c.Stats.Misapplied++
+		return
+	}
+	want := c.expectedVal(key, s.Ver)
+	if len(s.Val) != len(want) {
+		c.Stats.TornServed++
+		c.Stats.Misapplied++
+		return
+	}
+	for i := range want {
+		if s.Val[i] != want[i] {
+			c.Stats.TornServed++
 			c.Stats.Misapplied++
 			return
 		}
@@ -475,23 +764,23 @@ func (c *Client) repairServer(p *sim.Process, server int) {
 	if len(defic) == 0 {
 		return
 	}
+	sess, err := c.acquire()
+	if err != nil {
+		return
+	}
+	defer c.release(sess)
 	keys := make([]uint64, 0, len(defic))
 	for k := range defic {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	sh := -1
-	var table hostmem.Addr
 	for _, key := range keys {
 		ver := defic[key]
-		if err := c.stage(key, ver); err != nil {
+		sw, err := c.stageVersion(sess, key, ver)
+		if err != nil {
 			return
 		}
-		if s := c.lay.ShardOf(key); s != sh {
-			sh = s
-			table = c.servers[server].TableFor(c.lay, sh)
-		}
-		if err := c.putReplica(p, server, c.lay.SlotAddr(table, key), ver); err != nil {
+		if err := c.putReplica(p, sess, server, sw); err != nil {
 			// Server went away again mid-repair; MarkUp will re-flag us.
 			c.repairDue[server] = len(defic) > 0
 			return

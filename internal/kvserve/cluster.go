@@ -1,10 +1,13 @@
 package kvserve
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 
 	"strom/internal/hostmem"
+	"strom/internal/kernels/consistency"
+	"strom/internal/kvstore"
 	"strom/internal/sim"
 	"strom/internal/telemetry"
 	"strom/internal/telemetry/export"
@@ -30,6 +33,12 @@ type Config struct {
 	// MaxAttempts bounds per-replica retries before the write becomes a
 	// deficit (default 4).
 	MaxAttempts int
+	// TornBudget bounds per-replica re-reads of a torn spilled value
+	// before the Get fails over (default 3).
+	TornBudget int
+	// Sessions sizes the client's staging pool — one per concurrent
+	// client process (default 1; the racing chaos regime needs 2).
+	Sessions int
 	// HeartbeatEvery paces the servers' liveness counters (default 50 µs).
 	HeartbeatEvery sim.Duration
 	// Registry receives the client's kv_op_latency_ps histograms (nil
@@ -47,6 +56,12 @@ func (cfg Config) withDefaults() Config {
 	if cfg.MaxAttempts <= 0 {
 		cfg.MaxAttempts = 4
 	}
+	if cfg.TornBudget <= 0 {
+		cfg.TornBudget = 3
+	}
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = 1
+	}
 	if cfg.HeartbeatEvery <= 0 {
 		cfg.HeartbeatEvery = 50 * sim.Microsecond
 	}
@@ -60,6 +75,9 @@ type Cluster struct {
 	Lay     Layout
 	Servers []*Server
 	Client  *Client
+	// Kernels holds each server NIC's consistency kernel (index ==
+	// shard), deployed at ConsistencyOp for spilled-value reads.
+	Kernels []*consistency.Kernel
 }
 
 // HeartbeatRule is the failure-detection rule the cluster's telemetry
@@ -98,11 +116,16 @@ func New(net *testrig.Net, cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 		srv.StartHeartbeat(cfg.HeartbeatEvery)
+		k := consistency.New(0)
+		if err := srv.M.NIC.DeployKernel(ConsistencyOp, k); err != nil {
+			return nil, fmt.Errorf("kvserve: deploy consistency kernel on m%d: %w", mi, err)
+		}
+		cl.Kernels = append(cl.Kernels, k)
 		cl.Servers = append(cl.Servers, srv)
 	}
 	cm := net.Machines[cfg.ClientMachine]
-	if cm.Buf.Size() < 2*SlotSize {
-		return nil, fmt.Errorf("kvserve: client buffer too small")
+	if cm.Buf.Size() < cfg.Sessions*sessionBytes {
+		return nil, fmt.Errorf("kvserve: client buffer %d B < %d B for %d sessions", cm.Buf.Size(), cfg.Sessions*sessionBytes, cfg.Sessions)
 	}
 	c := &Client{
 		net:         net,
@@ -112,16 +135,29 @@ func New(net *testrig.Net, cfg Config) (*Cluster, error) {
 		servers:     cl.Servers,
 		down:        make([]bool, s),
 		repairDue:   make([]bool, s),
-		scratch:     cm.Buf.Base(),
-		readVA:      cm.Buf.Base() + SlotSize,
 		issued:      make(map[uint64]uint64),
 		acked:       make(map[uint64]uint64),
 		deleted:     make(map[uint64]map[uint64]bool),
+		larges:      make(map[uint64]map[uint64]bool),
+		ext:         make(map[uint64]*extRef),
 		bo:          cfg.Backoff,
 		deadline:    cfg.OpDeadline,
 		maxAttempts: cfg.MaxAttempts,
+		tornBudget:  cfg.TornBudget,
+		reg:         cfg.Registry,
 		histPut:     cfg.Registry.Histogram("kv_op_latency_ps", "ps", telemetry.L("op", "put")),
 		histGet:     cfg.Registry.Histogram("kv_op_latency_ps", "ps", telemetry.L("op", "get")),
+	}
+	for i := 0; i < cfg.Sessions; i++ {
+		base := cm.Buf.Base() + hostmem.Addr(i*sessionBytes)
+		c.pool = append(c.pool, &session{
+			slot: base,
+			ext:  base + SlotSize,
+			read: base + SlotSize + ExtentSize,
+		})
+	}
+	for sh := 0; sh < s; sh++ {
+		c.arenas = append(c.arenas, kvstore.NewFixedArena(ExtentSize, lay.ExtentsPerShard()))
 	}
 	for i := range cl.Servers {
 		c.deficits = append(c.deficits, make(map[uint64]uint64))
@@ -137,12 +173,34 @@ func New(net *testrig.Net, cfg Config) (*Cluster, error) {
 	return cl, nil
 }
 
-// RegisterHealth registers every server's heartbeat surface with the
-// recorder, on the engine that owns the server (sound under sharding).
+// TornRule is the torn-read detection rule for the cluster's telemetry
+// stream: any movement of the client's kv_torn_detected counter inside
+// a 500 µs window fires it (one event in the window is a rate of 2/ms).
+// The chaos-kv-large regime requires it to fire during the racing
+// phases; a clean stream keeps the counter at zero and stays silent.
+// Appended alongside HeartbeatRule by the KV experiments; a copy also
+// ships in export.DefaultRules so any stream scraping a KV client gets
+// it for free.
+func TornRule() export.Rule {
+	return export.Rule{
+		Name:   "torn-read",
+		Metric: "kv_torn_detected",
+		Kind:   export.Rate,
+		Op:     "gt",
+		Value:  0.5,
+		For:    500 * sim.Microsecond,
+	}
+}
+
+// RegisterHealth registers every server's heartbeat surface and the
+// client's torn-read surface with the recorder, each on the engine that
+// owns it (sound under sharding).
 func (cl *Cluster) RegisterHealth(rec *export.Recorder) {
 	for _, srv := range cl.Servers {
 		rec.Source(srv.M.Eng, fmt.Sprintf("m%d", srv.M.Index), "kv", srv.ObjectName(), srv.Health)
 	}
+	c := cl.Client
+	rec.Source(c.m.Eng, fmt.Sprintf("m%d", c.m.Index), "kvclient", "kvcli", c.Health)
 }
 
 // AttachController wires the telemetry-driven failover controller: when
@@ -217,6 +275,14 @@ func (cl *Cluster) Audit() []string {
 					violations = append(violations, fmt.Sprintf("key %d server %d ver %d: tombstone flag mismatch", key, server, s.Ver))
 					continue
 				}
+				if s.Flags&FlagSpilled != 0 {
+					violations = append(violations, cl.auditExtent(key, server, s)...)
+					continue
+				}
+				if c.wasLarge(key, s.Ver) {
+					violations = append(violations, fmt.Sprintf("key %d server %d ver %d: large version stored inline", key, server, s.Ver))
+					continue
+				}
 				want := c.expectedVal(key, s.Ver)
 				if string(s.Val) != string(want) {
 					violations = append(violations, fmt.Sprintf("key %d server %d ver %d: misapplied value (%d B, want %d B)", key, server, s.Ver, len(s.Val), len(want)))
@@ -224,7 +290,55 @@ func (cl *Cluster) Audit() []string {
 			}
 		}
 	}
+	// Arena accounting: every shard arena must hold exactly one live
+	// extent per spilled key it owns — anything more is a leak, anything
+	// less a double free.
+	perShard := make([]int, cl.Lay.Shards)
+	for key := range c.ext {
+		perShard[cl.Lay.ShardOf(key)]++
+	}
+	for sh, arena := range c.arenas {
+		if arena.Live() != perShard[sh] {
+			violations = append(violations, fmt.Sprintf("shard %d arena: %d live extents, %d spilled keys", sh, arena.Live(), perShard[sh]))
+		}
+	}
 	return violations
+}
+
+// auditExtent is Audit's ground-truth check of one replica's spilled
+// value: the slot's spill ref must point at the key's live extent, and
+// the extent image read straight out of server memory must be CRC-clean
+// and agree with the slot on key, version and the deterministic value.
+func (cl *Cluster) auditExtent(key uint64, server int, s Slot) []string {
+	c := cl.Client
+	sh := cl.Lay.ShardOf(key)
+	srv := cl.Servers[server]
+	off, vlen, ok := DecodeSpillRef(s.Val)
+	if !ok {
+		return []string{fmt.Sprintf("key %d server %d ver %d: unparseable spill ref", key, server, s.Ver)}
+	}
+	ref := c.ext[key]
+	if ref == nil || ref.off != off {
+		return []string{fmt.Sprintf("key %d server %d ver %d: spill ref points at freed or foreign extent %d", key, server, s.Ver, off)}
+	}
+	b, err := srv.M.NIC.Memory().ReadVirt(cl.Lay.ExtentAddr(srv.ArenaFor(cl.Lay, sh), off), ExtentSize)
+	if err != nil {
+		return []string{fmt.Sprintf("key %d server %d: extent unreadable: %v", key, server, err)}
+	}
+	ext := DecodeExtent(b)
+	switch {
+	case ext.Torn:
+		return []string{fmt.Sprintf("key %d server %d ver %d: extent CRC mismatch", key, server, s.Ver)}
+	case ext.Key != key:
+		return []string{fmt.Sprintf("key %d server %d: extent holds key %d", key, server, ext.Key)}
+	case ext.Ver != s.Ver:
+		return []string{fmt.Sprintf("key %d server %d: torn at rest: slot ver %d, extent ver %d", key, server, s.Ver, ext.Ver)}
+	case len(ext.Val) != vlen:
+		return []string{fmt.Sprintf("key %d server %d ver %d: extent len %d, spill ref len %d", key, server, s.Ver, len(ext.Val), vlen)}
+	case !bytes.Equal(ext.Val, c.expectedVal(key, s.Ver)):
+		return []string{fmt.Sprintf("key %d server %d ver %d: misapplied extent value", key, server, s.Ver)}
+	}
+	return nil
 }
 
 // CrashCycle schedules a crash/restart cycle on the given server: the

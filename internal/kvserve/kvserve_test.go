@@ -79,18 +79,27 @@ func kvSwitchConfig() fabric.SwitchConfig {
 
 // newTestCluster builds a 1-client + 3-server cluster on one engine.
 func newTestCluster(t *testing.T, seed int64) (*testrig.Net, *Cluster) {
+	return newTestClusterCfg(t, seed, nil)
+}
+
+// newTestClusterCfg is newTestCluster with a config hook.
+func newTestClusterCfg(t *testing.T, seed int64, mod func(*Config)) (*testrig.Net, *Cluster) {
 	t.Helper()
 	net, err := testrig.NewNet(seed, 4, core.Profile10G(), kvSwitchConfig(), 1<<20)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cl, err := New(net, Config{
+	cfg := Config{
 		ClientMachine:  0,
 		ServerMachines: []int{1, 2, 3},
 		NumKeys:        64,
 		OpDeadline:     400 * sim.Microsecond,
 		Backoff:        sim.Backoff{Base: 50 * sim.Microsecond, Max: 800 * sim.Microsecond, Factor: 2, Jitter: 0.5},
-	})
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	cl, err := New(net, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,8 +110,8 @@ func newTestCluster(t *testing.T, seed int64) (*testrig.Net, *Cluster) {
 func mustZeroViolations(t *testing.T, cl *Cluster) {
 	t.Helper()
 	st := cl.Client.Stats
-	if st.StaleServed != 0 || st.Misapplied != 0 {
-		t.Fatalf("guarantee counters: StaleServed=%d Misapplied=%d", st.StaleServed, st.Misapplied)
+	if st.StaleServed != 0 || st.Misapplied != 0 || st.TornServed != 0 {
+		t.Fatalf("guarantee counters: StaleServed=%d Misapplied=%d TornServed=%d", st.StaleServed, st.Misapplied, st.TornServed)
 	}
 	if v := cl.Audit(); len(v) != 0 {
 		t.Fatalf("audit: %d violations, first: %s", len(v), v[0])

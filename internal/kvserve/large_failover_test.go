@@ -1,0 +1,223 @@
+package kvserve
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"strom/internal/sim"
+)
+
+// The large-value failover battery (DESIGN.md §17): the publish-window
+// crash, the mid-repair backup read, and rkey rotation between the slot
+// read and the extent read. Key 4 throughout: shard 1, primary server 1
+// (machine 2), backup server 2 (machine 3).
+
+// A crash lands exactly between the extent write and the slot publish.
+// The extent holds version 1 the slot never points at — an orphan. It
+// must never be served, and the next spill over it must count the reap.
+func TestCrashBetweenExtentWriteAndPublish(t *testing.T) {
+	net, cl := newLargeTestCluster(t, 1)
+	c := cl.Client
+	const key = 4
+	crashed := false
+	c.testAfterExtentWrite = func(p *sim.Process, server int, k, ver uint64) {
+		if server == 1 && k == key && ver == 1 && !crashed {
+			crashed = true
+			cl.Servers[1].M.NIC.Crash()
+		}
+	}
+	var runErr error
+	net.Machines[0].Eng.Go("kv-client", func(p *sim.Process) {
+		// The primary dies holding an unpublished extent; the backup
+		// still acks, so the put succeeds.
+		if runErr = c.PutLarge(p, key); runErr != nil {
+			return
+		}
+		if c.Acked(key) != 1 {
+			t.Errorf("acked = %d, want 1 (backup ack)", c.Acked(key))
+		}
+		if !c.Down(1) {
+			t.Error("primary not marked down after publish-window crash")
+		}
+		// The orphan is unreachable: the primary's slot is empty, so a
+		// read there is stale-rerouted to the backup.
+		slot, found, err := c.Get(p, key)
+		if err != nil || !found {
+			runErr = err
+			return
+		}
+		if !bytes.Equal(slot.Val, LargeValueFor(key, 1)) {
+			t.Errorf("get served %d B, want committed v1", len(slot.Val))
+		}
+		// Primary returns; the next spill overwrites the orphan in place
+		// and must count the reap.
+		cl.Servers[1].M.NIC.Restart()
+		p.Sleep(100 * sim.Microsecond)
+		c.MarkUp(1)
+		if runErr = c.PutLarge(p, key); runErr != nil {
+			return
+		}
+		slot, found, err = c.Get(p, key)
+		if err != nil || !found {
+			runErr = err
+			return
+		}
+		if !bytes.Equal(slot.Val, LargeValueFor(key, 2)) {
+			t.Errorf("get after reap served %d B, want v2", len(slot.Val))
+		}
+	})
+	net.Run()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	st := c.Stats
+	if st.OrphansReaped == 0 {
+		t.Errorf("orphan extent never reaped: %+v", st)
+	}
+	if st.TornServed != 0 {
+		t.Errorf("orphan content served: %+v", st)
+	}
+	if st.Failovers == 0 {
+		t.Error("get did not fail over while the primary was down")
+	}
+	mustZeroViolations(t, cl)
+}
+
+// A Get lands mid-repair: the repair has written the new extent but not
+// yet published the slot, so the repairing replica is torn (extent
+// ahead of slot). The reader must detect it, exhaust the torn budget,
+// and fail over to the backup's committed version — never serve the
+// half-repaired state.
+func TestBackupGetMidRepair(t *testing.T) {
+	net, cl := newLargeTestCluster(t, 1)
+	c := cl.Client
+	const key = 4
+	fired := false
+	var hookErr error
+	var runErr error
+	net.Machines[0].Eng.Go("kv-client", func(p *sim.Process) {
+		if runErr = c.PutLarge(p, key); runErr != nil { // v1 on both replicas
+			return
+		}
+		// Both replicas die; v2 is issued but never acked anywhere.
+		cl.Servers[1].M.NIC.Crash()
+		cl.Servers[2].M.NIC.Crash()
+		if err := c.PutLarge(p, key); !errors.Is(err, ErrUnavailable) {
+			t.Errorf("put with both replicas down: err = %v", err)
+		}
+		if c.Acked(key) != 1 || c.Issued(key) != 2 {
+			t.Errorf("acked=%d issued=%d, want 1/2", c.Acked(key), c.Issued(key))
+		}
+		cl.Servers[1].M.NIC.Restart()
+		cl.Servers[2].M.NIC.Restart()
+		p.Sleep(100 * sim.Microsecond)
+		// The backup is reachable again but not yet repaired: it still
+		// holds committed v1. Mark it up so the mid-repair reader has a
+		// failover target; RepairAll below drains its deficit after the
+		// primary's.
+		c.MarkUp(2)
+		// During the primary's repair of v2, a reader arrives in the
+		// window between extent write and slot publish.
+		c.testAfterExtentWrite = func(hp *sim.Process, server int, k, ver uint64) {
+			if server != 1 || k != key || ver != 2 || fired {
+				return
+			}
+			fired = true
+			slot, found, err := c.Get(hp, key)
+			if err != nil || !found {
+				hookErr = err
+				return
+			}
+			if !bytes.Equal(slot.Val, LargeValueFor(key, 1)) {
+				t.Errorf("mid-repair get served %d B, want committed v1 from backup", len(slot.Val))
+			}
+		}
+		c.RepairAll(p)
+		c.testAfterExtentWrite = nil
+		slot, found, err := c.Get(p, key)
+		if err != nil || !found {
+			runErr = err
+			return
+		}
+		if !bytes.Equal(slot.Val, LargeValueFor(key, 2)) {
+			t.Errorf("post-repair get served %d B, want v2", len(slot.Val))
+		}
+	})
+	net.Run()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if hookErr != nil {
+		t.Fatalf("mid-repair get: %v", hookErr)
+	}
+	if !fired {
+		t.Fatal("repair never hit the publish window hook")
+	}
+	st := c.Stats
+	if st.TornDetected == 0 || st.TornFailovers == 0 {
+		t.Errorf("mid-repair read was not detected as torn: %+v", st)
+	}
+	if st.Failovers == 0 {
+		t.Error("mid-repair get did not fail over to the backup")
+	}
+	if st.TornServed != 0 {
+		t.Errorf("half-repaired state served: %+v", st)
+	}
+	mustZeroViolations(t, cl)
+}
+
+// The server crashes and restarts between a Get's slot read and its
+// extent read: the cached rkey is rotated and the QP dead when the
+// consistency RPC goes out. The transport retry must reconnect,
+// re-fetch the key, and complete the read without reporting it torn.
+func TestRKeyRotationMidExtentRead(t *testing.T) {
+	net, cl := newLargeTestCluster(t, 1)
+	c := cl.Client
+	const key = 4
+	var runErr error
+	net.Machines[0].Eng.Go("kv-client", func(p *sim.Process) {
+		if runErr = c.PutLarge(p, key); runErr != nil {
+			return
+		}
+		sess, err := c.acquire()
+		if err != nil {
+			runErr = err
+			return
+		}
+		defer c.release(sess)
+		sh := cl.Lay.ShardOf(key)
+		srv := cl.Servers[1]
+		slot, err := c.getReplica(p, sess, 1, cl.Lay.SlotAddr(srv.TableFor(cl.Lay, sh), key))
+		if err != nil {
+			runErr = err
+			return
+		}
+		// Crash/restart between the slot read and the extent read: host
+		// memory (slots, extents) survives, rkeys rotate, QPs die.
+		srv.M.NIC.Crash()
+		p.Sleep(50 * sim.Microsecond)
+		srv.M.NIC.Restart()
+		p.Sleep(20 * sim.Microsecond)
+		s2, val, gerr := c.getSpilled(p, sess, 1, key, slot, c.Acked(key))
+		if gerr != nil {
+			runErr = gerr
+			return
+		}
+		if s2.Flags&FlagSpilled == 0 || !bytes.Equal(val, LargeValueFor(key, 1)) {
+			t.Errorf("mid-rotation read = flags %#x, %d B", s2.Flags, len(val))
+		}
+	})
+	net.Run()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	st := c.Stats
+	if st.Reconnects == 0 || st.RKeyRefetches == 0 {
+		t.Errorf("want reconnect + rkey refetch, got %+v", st)
+	}
+	if st.TornDetected != 0 {
+		t.Errorf("transport trouble misclassified as torn: %+v", st)
+	}
+	mustZeroViolations(t, cl)
+}

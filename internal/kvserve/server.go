@@ -20,30 +20,35 @@ type Server struct {
 	M     *testrig.NetMachine
 	Shard int // primary shard id == server index
 
-	PrimaryVA hostmem.Addr // table for shard Shard
-	BackupVA  hostmem.Addr // table for shard (Shard-1+S) mod S
-	BlastVA   hostmem.Addr // scratch region for incast traffic (0 if none)
-	BlastLen  int
+	PrimaryVA    hostmem.Addr // table for shard Shard
+	BackupVA     hostmem.Addr // table for shard (Shard-1+S) mod S
+	PrimaryExtVA hostmem.Addr // extent arena for shard Shard
+	BackupExtVA  hostmem.Addr // extent arena for shard (Shard-1+S) mod S
+	BlastVA      hostmem.Addr // scratch region for incast traffic (0 if none)
+	BlastLen     int
 
 	heartbeats uint64
 	serving    float64
 }
 
-// NewServer lays the two shard tables (and a blast region of blastBytes)
-// into the machine's buffer.
+// NewServer lays the two shard tables, their two extent arenas, and a
+// blast region of blastBytes into the machine's buffer.
 func NewServer(m *testrig.NetMachine, shard int, lay Layout, blastBytes int) (*Server, error) {
-	need := 2*lay.ShardBytes() + blastBytes
+	need := 2*lay.ShardBytes() + 2*lay.ArenaBytes() + blastBytes
 	if m.Buf.Size() < need {
-		return nil, fmt.Errorf("kvserve: m%d buffer %d B < %d B needed for two shard tables", m.Index, m.Buf.Size(), need)
+		return nil, fmt.Errorf("kvserve: m%d buffer %d B < %d B needed for two shard tables and arenas", m.Index, m.Buf.Size(), need)
 	}
+	base := m.Buf.Base()
 	s := &Server{
-		M:         m,
-		Shard:     shard,
-		PrimaryVA: m.Buf.Base(),
-		BackupVA:  m.Buf.Base() + hostmem.Addr(lay.ShardBytes()),
+		M:            m,
+		Shard:        shard,
+		PrimaryVA:    base,
+		BackupVA:     base + hostmem.Addr(lay.ShardBytes()),
+		PrimaryExtVA: base + hostmem.Addr(2*lay.ShardBytes()),
+		BackupExtVA:  base + hostmem.Addr(2*lay.ShardBytes()+lay.ArenaBytes()),
 	}
 	if blastBytes > 0 {
-		s.BlastVA = m.Buf.Base() + hostmem.Addr(2*lay.ShardBytes())
+		s.BlastVA = base + hostmem.Addr(2*lay.ShardBytes()+2*lay.ArenaBytes())
 		s.BlastLen = blastBytes
 	}
 	return s, nil
@@ -57,6 +62,18 @@ func (s *Server) TableFor(lay Layout, shard int) hostmem.Addr {
 		return s.PrimaryVA
 	case lay.BackupServer(shard) == s.Shard:
 		return s.BackupVA
+	}
+	return 0
+}
+
+// ArenaFor returns the base address of this server's extent arena for
+// the given shard, or 0 if the server hosts no replica of it.
+func (s *Server) ArenaFor(lay Layout, shard int) hostmem.Addr {
+	switch {
+	case shard == s.Shard:
+		return s.PrimaryExtVA
+	case lay.BackupServer(shard) == s.Shard:
+		return s.BackupExtVA
 	}
 	return 0
 }

@@ -1,0 +1,115 @@
+package kvstore
+
+import "strom/internal/hostmem"
+
+// ArenaStats counts allocator activity. Reuses counts Allocs satisfied
+// from a free list rather than fresh region space — the signal the
+// tombstone-leak tests gate on.
+type ArenaStats struct {
+	Allocs uint64
+	Frees  uint64
+	Reuses uint64
+}
+
+// Arena is a free-list allocator layered over a Region: Alloc prefers a
+// previously freed block of the same size class (8 B-aligned length,
+// LIFO so reuse is immediate and deterministic) and falls back to the
+// region bump pointer. Free returns a block to its class. The Region
+// itself never reclaims, so Region.Used() growing across a
+// delete→reinsert cycle means something leaked.
+type Arena struct {
+	region *Region
+	free   map[int][]hostmem.Addr
+	live   int
+	stats  ArenaStats
+}
+
+// NewArena wraps a region with free-list reuse.
+func NewArena(r *Region) *Arena {
+	return &Arena{region: r, free: make(map[int][]hostmem.Addr)}
+}
+
+func sizeClass(n int) int { return (n + 7) &^ 7 }
+
+// Alloc returns n bytes, reusing a freed same-class block when one exists.
+func (a *Arena) Alloc(n int) (hostmem.Addr, error) {
+	a.stats.Allocs++
+	class := sizeClass(n)
+	if list := a.free[class]; len(list) > 0 {
+		va := list[len(list)-1]
+		a.free[class] = list[:len(list)-1]
+		a.stats.Reuses++
+		a.live++
+		return va, nil
+	}
+	va, err := a.region.Alloc(n)
+	if err != nil {
+		a.stats.Allocs--
+		return 0, err
+	}
+	a.live++
+	return va, nil
+}
+
+// Free returns the n-byte block at va to its size-class free list.
+func (a *Arena) Free(va hostmem.Addr, n int) {
+	class := sizeClass(n)
+	a.free[class] = append(a.free[class], va)
+	a.stats.Frees++
+	a.live--
+}
+
+// Live reports blocks currently allocated and not freed.
+func (a *Arena) Live() int { return a.live }
+
+// Stats returns a snapshot of allocator counters.
+func (a *Arena) Stats() ArenaStats { return a.stats }
+
+// FixedArena allocates fixed-stride slots from a bounded offset space —
+// the shape of a per-shard extent arena, where every block is one
+// ExtentSize-stride extent and addresses are offsets from the arena
+// base. Freed slots are reused LIFO, so a free immediately followed by
+// an alloc returns the same offset (in-place overwrite: the property
+// the torn-read chaos regime leans on).
+type FixedArena struct {
+	stride int
+	cap    int
+	next   int
+	free   []int
+	stats  ArenaStats
+}
+
+// NewFixedArena builds an arena of capacity slots of the given stride.
+func NewFixedArena(stride, capacity int) *FixedArena {
+	return &FixedArena{stride: stride, cap: capacity}
+}
+
+// Alloc returns the byte offset of a free slot.
+func (f *FixedArena) Alloc() (int, error) {
+	f.stats.Allocs++
+	if n := len(f.free); n > 0 {
+		off := f.free[n-1]
+		f.free = f.free[:n-1]
+		f.stats.Reuses++
+		return off, nil
+	}
+	if f.next >= f.cap {
+		f.stats.Allocs--
+		return 0, ErrRegionFull
+	}
+	off := f.next * f.stride
+	f.next++
+	return off, nil
+}
+
+// Free returns a slot offset to the free list.
+func (f *FixedArena) Free(off int) {
+	f.free = append(f.free, off)
+	f.stats.Frees++
+}
+
+// Live reports slots currently allocated and not freed.
+func (f *FixedArena) Live() int { return f.next - len(f.free) }
+
+// Stats returns a snapshot of allocator counters.
+func (f *FixedArena) Stats() ArenaStats { return f.stats }

@@ -1,0 +1,194 @@
+package kvstore
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestArenaReuseSameClass(t *testing.T) {
+	_, r := newRegion(t, 2)
+	a := NewArena(r)
+	va, err := a.Alloc(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Free(va, 24)
+	// 17..24 all share the 24 B class, so any of them reuses the block.
+	got, err := a.Alloc(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != va {
+		t.Errorf("Alloc after Free = %#x, want reuse of %#x", got, va)
+	}
+	st := a.Stats()
+	if st.Allocs != 2 || st.Frees != 1 || st.Reuses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if a.Live() != 1 {
+		t.Errorf("live = %d", a.Live())
+	}
+}
+
+func TestArenaLIFOAndClassIsolation(t *testing.T) {
+	_, r := newRegion(t, 2)
+	a := NewArena(r)
+	v1, _ := a.Alloc(8)
+	v2, _ := a.Alloc(8)
+	v3, _ := a.Alloc(32)
+	a.Free(v1, 8)
+	a.Free(v2, 8)
+	if got, _ := a.Alloc(8); got != v2 {
+		t.Errorf("LIFO reuse = %#x, want %#x", got, v2)
+	}
+	// A 32 B request must not take from the 8 B class.
+	a.Free(v3, 32)
+	if got, _ := a.Alloc(32); got != v3 {
+		t.Errorf("class reuse = %#x, want %#x", got, v3)
+	}
+	if got, _ := a.Alloc(8); got != v1 {
+		t.Errorf("second 8B reuse = %#x, want %#x", got, v1)
+	}
+}
+
+func TestFixedArenaReuseAndExhaustion(t *testing.T) {
+	f := NewFixedArena(128, 2)
+	o1, err := f.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, _ := f.Alloc()
+	if o1 != 0 || o2 != 128 {
+		t.Errorf("offsets = %d, %d", o1, o2)
+	}
+	if _, err := f.Alloc(); !errors.Is(err, ErrRegionFull) {
+		t.Errorf("err = %v", err)
+	}
+	f.Free(o1)
+	if f.Live() != 1 {
+		t.Errorf("live = %d", f.Live())
+	}
+	// Free immediately followed by Alloc returns the same slot: the
+	// in-place-overwrite property the torn-read regime depends on.
+	got, err := f.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != o1 {
+		t.Errorf("realloc = %d, want %d", got, o1)
+	}
+	if st := f.Stats(); st.Reuses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestHashTableDeleteReinsertReuse is the tombstone-leak table test:
+// across delete→reinsert and overwrite cycles the region bump pointer
+// must not move once the table reaches steady state.
+func TestHashTableDeleteReinsertReuse(t *testing.T) {
+	cases := []struct {
+		name string
+		vlen int
+		ops  int
+	}{
+		{"small-8B", 8, 16},
+		{"mid-24B", 24, 16},
+		{"large-96B", 96, 16},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, r := newRegion(t, 2)
+			h, err := BuildHashTable(r, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			val := func(i int) []byte {
+				return bytes.Repeat([]byte{byte(i + 1)}, tc.vlen)
+			}
+			const key = 7
+			if err := h.Put(key, val(0)); err != nil {
+				t.Fatal(err)
+			}
+			used := r.Used()
+			for i := 1; i <= tc.ops; i++ {
+				if i%2 == 0 {
+					// Overwrite in place.
+					if err := h.Put(key, val(i)); err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					// Delete then reinsert: the tombstone must hand
+					// its value bytes back.
+					if ok, err := h.Delete(key); err != nil || !ok {
+						t.Fatalf("Delete = %v, %v", ok, err)
+					}
+					if err := h.Put(key, val(i)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if r.Used() != used {
+					t.Fatalf("op %d: region grew %d → %d bytes (leak)", i, used, r.Used())
+				}
+				got, ok := h.Get(key)
+				if !ok || !bytes.Equal(got, val(i)) {
+					t.Fatalf("op %d: Get = %q, %v", i, got, ok)
+				}
+			}
+			st := h.Arena().Stats()
+			if st.Reuses != uint64(tc.ops) {
+				t.Errorf("reuses = %d, want %d", st.Reuses, tc.ops)
+			}
+			if h.Arena().Live() != 1 {
+				t.Errorf("live = %d", h.Arena().Live())
+			}
+		})
+	}
+}
+
+// TestHashTableMixedSizesNoLeak churns several keys with distinct value
+// sizes: after the first full round every class is warm and the region
+// stops growing.
+func TestHashTableMixedSizesNoLeak(t *testing.T) {
+	_, r := newRegion(t, 2)
+	h, err := BuildHashTable(r, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{8, 16, 24, 48, 96}
+	for round := 0; round < 6; round++ {
+		for i, n := range sizes {
+			key := uint64(100 + i)
+			v := bytes.Repeat([]byte{byte(round)}, n)
+			if round > 0 {
+				if _, err := h.Delete(key); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := h.Put(key, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if round == 0 {
+			continue
+		}
+		if round == 1 {
+			// Steady state reached after the first churn round.
+			used := r.Used()
+			t.Cleanup(func() {
+				if r.Used() != used {
+					t.Errorf("region grew %d → %d after steady state", used, r.Used())
+				}
+			})
+		}
+	}
+	for i, n := range sizes {
+		got, ok := h.Get(uint64(100 + i))
+		if !ok || len(got) != n || got[0] != 5 {
+			t.Fatalf("key %d: got %v %v", 100+i, got, ok)
+		}
+	}
+	if h.Arena().Live() != len(sizes) {
+		t.Errorf("live = %d, want %d", h.Arena().Live(), len(sizes))
+	}
+}

@@ -168,10 +168,13 @@ const (
 	HTTombstone = ^uint64(0)
 )
 
-// HashTable is the Pilaf-like store.
+// HashTable is the Pilaf-like store. Values live in an Arena over the
+// backing region, so overwrites and deletes return their old bytes to a
+// free list instead of leaking bump-allocator space.
 type HashTable struct {
 	mem        *hostmem.Memory
 	region     *Region
+	arena      *Arena
 	entriesVA  hostmem.Addr
 	numEntries int
 	items      int
@@ -186,7 +189,7 @@ func BuildHashTable(r *Region, numEntries int) (*HashTable, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &HashTable{mem: r.mem, region: r, entriesVA: va, numEntries: numEntries}, nil
+	return &HashTable{mem: r.mem, region: r, arena: NewArena(r), entriesVA: va, numEntries: numEntries}, nil
 }
 
 // entryIndex hashes a key to its entry.
@@ -236,7 +239,16 @@ func (h *HashTable) Put(key uint64, value []byte) error {
 		return ErrBucketsFull
 	}
 	off := slot * HTBucketStride
-	valVA, err := h.region.Alloc(len(value))
+	if !fresh {
+		// Overwrite: release the old value's bytes first, so a
+		// same-class write reuses them in place.
+		oldVA := hostmem.Addr(binary.LittleEndian.Uint64(entry[off+8:]))
+		oldLen := int(binary.LittleEndian.Uint32(entry[off+16:]))
+		if oldVA != 0 {
+			h.arena.Free(oldVA, oldLen)
+		}
+	}
+	valVA, err := h.arena.Alloc(len(value))
 	if err != nil {
 		return err
 	}
@@ -254,8 +266,9 @@ func (h *HashTable) Put(key uint64, value []byte) error {
 
 // Delete removes a key, tombstoning its bucket: the key field becomes
 // HTTombstone (which no lookup can match) and the value pointer and
-// length are zeroed. The bucket is reusable by later Puts. Reports
-// whether the key was present.
+// length are zeroed. The value's bytes go back to the arena — a
+// tombstone must not leak its extent — and the bucket is reusable by
+// later Puts. Reports whether the key was present.
 func (h *HashTable) Delete(key uint64) (bool, error) {
 	if key == 0 || key == HTTombstone {
 		return false, nil
@@ -269,6 +282,9 @@ func (h *HashTable) Delete(key uint64) (bool, error) {
 		off := b * HTBucketStride
 		if binary.LittleEndian.Uint64(entry[off:]) != key {
 			continue
+		}
+		if valVA := hostmem.Addr(binary.LittleEndian.Uint64(entry[off+8:])); valVA != 0 {
+			h.arena.Free(valVA, int(binary.LittleEndian.Uint32(entry[off+16:])))
 		}
 		binary.LittleEndian.PutUint64(entry[off:], HTTombstone)
 		binary.LittleEndian.PutUint64(entry[off+8:], 0)
@@ -313,6 +329,9 @@ func (h *HashTable) TraversalParams(key uint64, valueSize int, responseVA hostme
 		ResponseAddress:    uint64(responseVA),
 	}
 }
+
+// Arena exposes the value allocator (tests gate on its reuse stats).
+func (h *HashTable) Arena() *Arena { return h.arena }
 
 // Len reports the number of stored items.
 func (h *HashTable) Len() int { return h.items }

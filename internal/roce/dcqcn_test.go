@@ -26,9 +26,9 @@ func newMarkedPair(t *testing.T, seed int64, cfg Config, linkCfg fabric.LinkConf
 			packet.MarkCongestion(f)
 		}
 		link.SendFromA(f)
-	}, nil)
-	b := NewStack(eng, cfg, idB, hb, func(f []byte) { link.SendFromB(f) }, nil)
-	link = fabric.NewLink(eng, linkCfg, a, b, nil)
+	})
+	b := NewStack(eng, cfg, idB, hb, func(f []byte) { link.SendFromB(f) })
+	link = fabric.NewLink(eng, linkCfg, a, b)
 	if err := a.CreateQP(1, idB, 2); err != nil {
 		t.Fatal(err)
 	}

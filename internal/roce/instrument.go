@@ -10,8 +10,7 @@ import (
 
 // Trace track (tid) layout inside a stack's process (pid): the TX and RX
 // pipelines, a reliability lane for retransmissions and timeouts, and a
-// log lane for diagnostics that used to go through the deprecated
-// sim.Tracer.
+// log lane for diagnostics.
 const (
 	traceTidTx      = 1
 	traceTidRx      = 2
@@ -70,15 +69,13 @@ func (s *Stack) AttachTelemetry(reg *telemetry.Registry, tb *telemetry.TraceBuff
 	s.pid = pid
 }
 
-// logf records a diagnostic on the stack's log lane (structured tracing)
-// and forwards it through the deprecated sim.Tracer shim for callers
-// still on the legacy sink. name is the instant's short event name;
-// format/args carry the detail.
+// logf records a diagnostic on the stack's log lane (structured
+// tracing). name is the instant's short event name; format/args carry
+// the detail.
 func (s *Stack) logf(name, format string, args ...any) {
 	if s.tb != nil {
 		s.tb.Instant(s.pid, traceTidLog, "log", name, fmt.Sprintf(format, args...))
 	}
-	s.tracer.Logf("roce[%v]: "+format, append([]any{s.id.IP}, args...)...)
 }
 
 // EachActiveQP calls fn for every created queue pair in ascending QPN

@@ -203,9 +203,9 @@ func TestFatalReadNakMovesToError(t *testing.T) {
 	idA := Identity{MAC: packet.MAC{2, 0, 0, 0, 0, 1}, IP: packet.AddrOf(10, 0, 0, 1)}
 	idB := Identity{MAC: packet.MAC{2, 0, 0, 0, 0, 2}, IP: packet.AddrOf(10, 0, 0, 2)}
 	var link *fabric.Link
-	a := NewStack(eng, Config10G(), idA, ha, func(f []byte) { link.SendFromA(f) }, nil)
-	b := NewStack(eng, Config10G(), idB, hb, func(f []byte) { link.SendFromB(f) }, nil)
-	link = fabric.NewLink(eng, fabric.DirectCable10G(), a, b, nil)
+	a := NewStack(eng, Config10G(), idA, ha, func(f []byte) { link.SendFromA(f) })
+	b := NewStack(eng, Config10G(), idB, hb, func(f []byte) { link.SendFromB(f) })
+	link = fabric.NewLink(eng, fabric.DirectCable10G(), a, b)
 	if err := a.CreateQP(1, idB, 2); err != nil {
 		t.Fatal(err)
 	}

@@ -101,7 +101,6 @@ type Stack struct {
 	handler  Handler
 	valid    AccessValidator // non-nil when the handler implements it
 	transmit func(frame []byte)
-	tracer   *sim.Tracer
 
 	st     *stateTable
 	mq     *multiQueue
@@ -168,7 +167,7 @@ type txDone struct {
 
 // NewStack builds a stack. transmit pushes encoded frames into the
 // fabric; handler receives responder-side operations.
-func NewStack(eng *sim.Engine, cfg Config, id Identity, handler Handler, transmit func([]byte), tracer *sim.Tracer) *Stack {
+func NewStack(eng *sim.Engine, cfg Config, id Identity, handler Handler, transmit func([]byte)) *Stack {
 	valid, _ := handler.(AccessValidator)
 	s := &Stack{
 		eng:      eng,
@@ -177,7 +176,6 @@ func NewStack(eng *sim.Engine, cfg Config, id Identity, handler Handler, transmi
 		handler:  handler,
 		valid:    valid,
 		transmit: transmit,
-		tracer:   tracer,
 		st:       newStateTable(cfg.NumQPs),
 		mq:       newMultiQueue(cfg.NumQPs, cfg.MultiQueuePool, cfg.ReadDepthPerQP),
 		rxPath:    sim.NewSerializer(eng),

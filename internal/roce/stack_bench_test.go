@@ -19,9 +19,9 @@ func benchPair(b *testing.B) *pair {
 	idA := Identity{MAC: [6]byte{2, 0, 0, 0, 0, 1}}
 	idB := Identity{MAC: [6]byte{2, 0, 0, 0, 0, 2}}
 	var link *fabric.Link
-	a := NewStack(eng, Config10G(), idA, ha, func(f []byte) { link.SendFromA(f) }, nil)
-	bb := NewStack(eng, Config10G(), idB, hb, func(f []byte) { link.SendFromB(f) }, nil)
-	link = fabric.NewLink(eng, fabric.DirectCable10G(), a, bb, nil)
+	a := NewStack(eng, Config10G(), idA, ha, func(f []byte) { link.SendFromA(f) })
+	bb := NewStack(eng, Config10G(), idB, hb, func(f []byte) { link.SendFromB(f) })
+	link = fabric.NewLink(eng, fabric.DirectCable10G(), a, bb)
 	if err := a.CreateQP(1, idB, 2); err != nil {
 		b.Fatal(err)
 	}

@@ -78,9 +78,9 @@ func newPair(t *testing.T, seed int64, cfg Config, linkCfg fabric.LinkConfig) *p
 	idA := Identity{MAC: packet.MAC{2, 0, 0, 0, 0, 1}, IP: packet.AddrOf(10, 0, 0, 1)}
 	idB := Identity{MAC: packet.MAC{2, 0, 0, 0, 0, 2}, IP: packet.AddrOf(10, 0, 0, 2)}
 	var link *fabric.Link
-	a := NewStack(eng, cfg, idA, ha, func(f []byte) { link.SendFromA(f) }, nil)
-	b := NewStack(eng, cfg, idB, hb, func(f []byte) { link.SendFromB(f) }, nil)
-	link = fabric.NewLink(eng, linkCfg, a, b, nil)
+	a := NewStack(eng, cfg, idA, ha, func(f []byte) { link.SendFromA(f) })
+	b := NewStack(eng, cfg, idB, hb, func(f []byte) { link.SendFromB(f) })
+	link = fabric.NewLink(eng, linkCfg, a, b)
 	if err := a.CreateQP(1, idB, 2); err != nil {
 		t.Fatal(err)
 	}

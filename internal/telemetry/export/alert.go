@@ -88,6 +88,12 @@ type Rule struct {
 func DefaultRules() []Rule {
 	return []Rule{
 		{Name: "out-discards", Metric: "out_discards", Kind: Rate, Op: "gt", Value: 2, For: 500 * sim.Microsecond},
+		// link-flap watches the drop-cause breakdown rather than the
+		// aggregate: any burst of frames dying inside a link-down window
+		// fires it, even when total discards stay under the out-discards
+		// rate. A clean link never increments the _flap cause, so the
+		// rule is structurally silent without an outage.
+		{Name: "link-flap", Metric: "out_discards_flap", Kind: Rate, Op: "gt", Value: 0.5, For: 500 * sim.Microsecond},
 		{Name: "fcs-err", Metric: "fcs_err", Kind: Rate, Op: "gt", Value: 1, For: 500 * sim.Microsecond},
 		{Name: "pfc-pause", Metric: "pfc_pause_tx", Kind: Rate, Op: "gt", Value: 1, For: 500 * sim.Microsecond},
 		{Name: "ecn-marked", Metric: "ecn_marked", Kind: Rate, Op: "gt", Value: 2, For: 500 * sim.Microsecond},
@@ -105,6 +111,12 @@ func DefaultRules() []Rule {
 		// trailing p99 exceeds 2 ms of simulated time — crash failover
 		// and incast storms push it over, a clean run stays far under.
 		{Name: "op-latency-p99", Metric: "kv_op_latency_ps*", Kind: Quantile, Q: 0.99, Op: "gt", Value: 2e9},
+		// torn-read watches the KV client's torn-read detections (CRC
+		// mismatch or slot/extent version skew on a spilled value). The
+		// counter only moves when the consistency kernel catches a read
+		// racing an in-place extent overwrite, so one detection inside
+		// the window fires it and a clean run stays silent.
+		{Name: "torn-read", Metric: "kv_torn_detected", Kind: Rate, Op: "gt", Value: 0.5, For: 500 * sim.Microsecond},
 	}
 }
 

@@ -65,9 +65,9 @@ func NewSharded(seed int64, cfg core.Config, linkCfg fabric.LinkConfig, bufSize,
 func build(engA, engB *sim.Engine, group *sim.ShardGroup, cfg core.Config, linkCfg fabric.LinkConfig, bufSize int) (*Pair, error) {
 	idA := roce.Identity{MAC: packet.MAC{2, 0, 0, 0, 0, 1}, IP: packet.AddrOf(10, 0, 0, 1)}
 	idB := roce.Identity{MAC: packet.MAC{2, 0, 0, 0, 0, 2}, IP: packet.AddrOf(10, 0, 0, 2)}
-	a := core.NewNIC(engA, cfg, idA, nil)
-	b := core.NewNIC(engB, cfg, idB, nil)
-	link := fabric.NewLinkOn(engA, engB, linkCfg, a, b, nil)
+	a := core.NewNIC(engA, cfg, idA)
+	b := core.NewNIC(engB, cfg, idB)
+	link := fabric.NewLinkOn(engA, engB, linkCfg, a, b)
 	a.SetTransmit(link.SendFromA)
 	b.SetTransmit(link.SendFromB)
 	if err := a.CreateQP(QPA, idB, QPB); err != nil {

@@ -81,14 +81,14 @@ func NewNetSharded(seed int64, n int, cfg core.Config, swCfg fabric.SwitchConfig
 
 // buildNet assembles machines and switch on the given engines.
 func buildNet(engs []*sim.Engine, swEng *sim.Engine, group *sim.ShardGroup, cfg core.Config, swCfg fabric.SwitchConfig, bufBytes int) (*Net, error) {
-	sw := fabric.NewSwitchCfg(swEng, swCfg, nil)
+	sw := fabric.NewSwitchCfg(swEng, swCfg)
 	net := &Net{Group: group, SwEng: swEng, Sw: sw}
 	for i, eng := range engs {
 		id := roce.Identity{
 			MAC: packet.MAC{2, 0, 0, 0, 0, byte(i + 1)},
 			IP:  packet.AddrOf(10, 0, 0, byte(i+1)),
 		}
-		nic := core.NewNIC(eng, cfg, id, nil)
+		nic := core.NewNIC(eng, cfg, id)
 		port := sw.AttachPortOn(eng, id.MAC, nic)
 		nic.SetTransmit(port.Send)
 		buf, err := nic.AllocBuffer(bufBytes)
